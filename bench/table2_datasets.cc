@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Table 2: the dataset used for each task in the workload,
+ * regenerated from the workload module's descriptors.
+ */
+
+#include <cstdio>
+
+#include "workload/dataset.hh"
+
+using namespace howsim::workload;
+
+int
+main()
+{
+    std::printf("Table 2: datasets for the tasks in the workload\n");
+    std::printf("%-10s %8s  %s\n", "task", "size", "characteristics");
+    for (auto kind : allTasks) {
+        auto d = DatasetSpec::forTask(kind);
+        std::printf("%-10s %6.1fGB  %s\n", taskName(kind).c_str(),
+                    static_cast<double>(d.inputBytes) / (1ull << 30),
+                    d.describe().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Model validation, in the spirit of the 2-6% microbenchmark
+ * validation the paper reports for Netsim: each row compares a
+ * simulated measurement against the closed-form value implied by the
+ * configuration. Large disagreement in any row means a substrate
+ * model has drifted.
+ */
+
+#include <cstdio>
+
+#include "bus/bus.hh"
+#include "disk/disk.hh"
+#include "net/network.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+
+using namespace howsim;
+using namespace howsim::sim;
+
+namespace
+{
+
+int checks = 0, passes = 0;
+
+void
+row(const char *what, double model, double analytic, double tol)
+{
+    double err = analytic != 0 ? (model - analytic) / analytic : 0;
+    bool ok = err < tol && err > -tol;
+    ++checks;
+    passes += ok;
+    std::printf("  %-44s %10.3f %10.3f %+7.1f%% %s\n", what, model,
+                analytic, 100 * err, ok ? "ok" : "DRIFT");
+}
+
+void
+diskValidation()
+{
+    std::printf("disk mechanism (Seagate ST39102)         "
+                "      model   analytic    error\n");
+    auto spec = disk::DiskSpec::seagateSt39102();
+
+    // Sequential streaming rate vs outer-zone media rate.
+    {
+        Simulator sim;
+        disk::Disk drive(sim, spec);
+        Tick end = 0;
+        auto body = [&]() -> Coro<void> {
+            std::uint64_t lba = 0;
+            for (int i = 0; i < 128; ++i) {
+                co_await drive.access(
+                    disk::DiskRequest{lba, 512, false});
+                lba += 512;
+            }
+            end = Simulator::current()->now();
+        };
+        sim.spawn(body());
+        sim.run();
+        double rate = 128 * 512 * 512.0 / toSeconds(end);
+        row("sequential read rate (MB/s)", rate / 1e6,
+            spec.maxMediaRate() / 1e6, 0.10);
+    }
+
+    // Random access time vs seek + half rotation + transfer.
+    {
+        Simulator sim;
+        disk::Disk drive(sim, spec);
+        Rng rng(5);
+        Tick end = 0;
+        const int n = 500;
+        auto body = [&]() -> Coro<void> {
+            for (int i = 0; i < n; ++i) {
+                std::uint64_t lba = rng.below(
+                    drive.geometry().totalSectors() - 8);
+                co_await drive.access(disk::DiskRequest{lba, 8, false});
+            }
+            end = Simulator::current()->now();
+        };
+        sim.spawn(body());
+        sim.run();
+        double ms = toMilliseconds(end) / n;
+        double expect = spec.avgSeekMs
+                        + spec.revolutionNs() / 2e6
+                        + spec.controllerOverheadMs
+                        + 8 * 512 / spec.minMediaRate() * 1e3;
+        row("random 4KB access (ms)", ms, expect, 0.12);
+    }
+}
+
+void
+busValidation()
+{
+    std::printf("interconnects\n");
+    Simulator sim;
+    bus::Bus fc(sim, bus::BusParams::fibreChannel(200e6));
+    Tick end = 0;
+    int active = 0;
+    auto body = [&]() -> Coro<void> {
+        for (int i = 0; i < 16; ++i)
+            co_await fc.transfer(1 << 20);
+        if (--active == 0)
+            end = Simulator::current()->now();
+    };
+    for (int i = 0; i < 8; ++i) {
+        ++active;
+        sim.spawn(body());
+    }
+    sim.run();
+    double rate = 8 * 16 * double(1 << 20) / toSeconds(end);
+    row("saturated dual FC-AL throughput (MB/s)", rate / 1e6, 200.0,
+        0.03);
+}
+
+void
+netValidation()
+{
+    std::printf("network fabric\n");
+    {
+        Simulator sim;
+        net::Network net(sim, 4);
+        Tick end = 0;
+        auto body = [&]() -> Coro<void> {
+            co_await net.transport(0, 1, 10 << 20);
+            end = Simulator::current()->now();
+        };
+        sim.spawn(body());
+        sim.run();
+        double rate = double(10 << 20) / toSeconds(end);
+        row("host-to-host rate (MB/s, 100BaseT)", rate / 1e6, 12.5,
+            0.05);
+    }
+    {
+        // Bisection: 16 disjoint cross-switch pairs in parallel.
+        Simulator sim;
+        net::Network net(sim, 32);
+        Tick end = 0;
+        int active = 0;
+        auto body = [&](int src) -> Coro<void> {
+            co_await net.transport(src, 16 + src, 4 << 20);
+            if (--active == 0)
+                end = Simulator::current()->now();
+        };
+        for (int src = 0; src < 16; ++src) {
+            ++active;
+            sim.spawn(body(src));
+        }
+        sim.run();
+        double rate = 16 * double(4 << 20) / toSeconds(end);
+        // Capped by 16 host links (200 MB/s) below the 250 MB/s
+        // uplinks.
+        row("32-host bisection throughput (MB/s)", rate / 1e6, 200.0,
+            0.08);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Howsim substrate validation (model vs analytic)\n\n");
+    diskValidation();
+    busValidation();
+    netValidation();
+    std::printf("\n%d/%d within tolerance\n", passes, checks);
+    return passes == checks ? 0 : 1;
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Writing your own disklet: the paper (and its ASPLOS'98 companion)
+ * argue that Active Disks also accelerate non-relational processing
+ * such as image filtering. This example implements a new
+ * application — edge detection over a library of satellite images —
+ * using the disklet programming model (diskos/disklet.hh): a
+ * convolution disklet scans the local image partition inside a
+ * DiskletPipeline and ships only the detected edge maps (a small
+ * fraction) to the front-end.
+ *
+ * It then compares against shipping the raw images to the front-end
+ * (what a conventional server farm would do over the same
+ * interconnect), with the host doing the convolution.
+ *
+ * Usage: custom_disklet [ndisks] [gigabytes]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "diskos/active_disk_array.hh"
+#include "diskos/disklet.hh"
+#include "sim/awaitables.hh"
+#include "sim/simulator.hh"
+
+using namespace howsim;
+using namespace howsim::diskos;
+using sim::Coro;
+
+namespace
+{
+
+constexpr std::uint64_t kBlock = 256 * 1024;
+
+/** 3x3 convolution + threshold: ~12 reference-CPU ns per byte. */
+constexpr sim::Tick kConvolveNsPerByte = 12;
+
+/** Fraction of each image surviving as edge map. */
+constexpr double kEdgeFraction = 0.05;
+
+/** The user-written disklet: convolve, threshold, emit edges. */
+class EdgeDetectDisklet : public Disklet
+{
+  public:
+    EdgeDetectDisklet() : Disklet("edge-detect", 512 * 1024) {}
+
+    Coro<void>
+    process(StreamBlock block) override
+    {
+        co_await compute(block.bytes * kConvolveNsPerByte);
+        std::uint64_t edges = static_cast<std::uint64_t>(
+            static_cast<double>(block.bytes) * kEdgeFraction);
+        pending += edges;
+        while (pending >= kBlock) {
+            co_await emit(StreamBlock{.bytes = kBlock});
+            pending -= kBlock;
+        }
+    }
+
+    Coro<void>
+    finish() override
+    {
+        if (pending > 0)
+            co_await emit(StreamBlock{.bytes = pending});
+    }
+
+  private:
+    std::uint64_t pending = 0;
+};
+
+/** Identity disklet: the conventional path ships raw blocks. */
+class ShipRawDisklet : public Disklet
+{
+  public:
+    ShipRawDisklet() : Disklet("ship-raw") {}
+
+    Coro<void>
+    process(StreamBlock block) override
+    {
+        co_await emit(std::move(block));
+    }
+};
+
+/**
+ * Drain the front-end, optionally convolving there. Runs for the
+ * whole simulation (the run ends when every pipeline has completed
+ * and this process is left blocked on an empty inbox).
+ */
+Coro<void>
+frontend(ActiveDiskArray *machine, bool host_computes)
+{
+    for (;;) {
+        auto blk = co_await machine->frontendInbox().recv();
+        if (!blk)
+            break;
+        if (host_computes) {
+            co_await machine->frontendCpu().compute(
+                blk->bytes * kConvolveNsPerByte);
+        }
+    }
+}
+
+double
+run(int ndisks, std::uint64_t total_bytes, bool on_disk)
+{
+    sim::Simulator simulator;
+    ActiveDiskArray machine(simulator, ndisks,
+                            disk::DiskSpec::seagateSt39102());
+    std::uint64_t per_disk = total_bytes
+                             / static_cast<std::uint64_t>(ndisks);
+
+    std::vector<std::unique_ptr<DiskletPipeline>> pipes;
+    for (int d = 0; d < ndisks; ++d) {
+        auto pipe = std::make_unique<DiskletPipeline>(machine, d);
+        pipe->source(0, per_disk);
+        if (on_disk)
+            pipe->add(std::make_unique<EdgeDetectDisklet>());
+        else
+            pipe->add(std::make_unique<ShipRawDisklet>());
+        pipe->sinkFrontend();
+        pipes.push_back(std::move(pipe));
+    }
+    auto driver = [](DiskletPipeline *p) -> Coro<void> {
+        co_await p->run();
+    };
+    for (auto &pipe : pipes)
+        simulator.spawn(driver(pipe.get()));
+    simulator.spawn(frontend(&machine, !on_disk));
+    simulator.run();
+    return sim::toSeconds(simulator.now());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int ndisks = argc > 1 ? std::atoi(argv[1]) : 32;
+    double gb = argc > 2 ? std::atof(argv[2]) : 8.0;
+    auto total = static_cast<std::uint64_t>(gb * (1ull << 30));
+
+    std::printf("Edge detection over %.1f GB of imagery, %d drives\n",
+                gb, ndisks);
+    double on_disk = run(ndisks, total, true);
+    double on_host = run(ndisks, total, false);
+    std::printf("  convolution disklet on the drives : %8.1f s\n",
+                on_disk);
+    std::printf("  raw images shipped to the host    : %8.1f s\n",
+                on_host);
+    std::printf("  active-disk advantage             : %8.1fx\n",
+                on_host / on_disk);
+    std::printf("\nOnly %.0f%% of each image leaves the drive as an "
+                "edge map; the conventional\npath pays the full "
+                "dataset over the shared interconnect plus host-side\n"
+                "convolution on one CPU.\n",
+                kEdgeFraction * 100);
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Design-space exploration for an Active Disk machine: sweep the
+ * three design choices the paper studies — interconnect bandwidth,
+ * per-disk memory, and communication architecture — on one task and
+ * print a compact matrix. This is the experiment you would run when
+ * sizing a new Active Disk product.
+ *
+ * Usage: design_space [task] [ndisks]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/experiment.hh"
+
+using namespace howsim;
+using core::ExperimentConfig;
+using workload::TaskKind;
+
+namespace
+{
+
+TaskKind
+parseTask(const char *name)
+{
+    for (auto kind : workload::allTasks)
+        if (workload::taskName(kind) == name)
+            return kind;
+    std::fprintf(stderr, "unknown task '%s', using sort\n", name);
+    return TaskKind::Sort;
+}
+
+double
+run(TaskKind task, int ndisks, double rate, std::uint64_t mem,
+    bool d2d)
+{
+    ExperimentConfig config;
+    config.arch = core::Arch::ActiveDisk;
+    config.task = task;
+    config.scale = ndisks;
+    config.interconnectRate = rate;
+    config.adMemoryBytes = mem;
+    config.directD2d = d2d;
+    return core::runExperiment(config).seconds();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    TaskKind task = argc > 1 ? parseTask(argv[1]) : TaskKind::Sort;
+    int ndisks = argc > 2 ? std::atoi(argv[2]) : 64;
+
+    std::printf("Design space for %s on %d Active Disks\n",
+                workload::taskName(task).c_str(), ndisks);
+    std::printf("(execution time in seconds; baseline = 200 MB/s, "
+                "32 MB, direct d2d)\n\n");
+
+    double base = run(task, ndisks, 200e6, 32ull << 20, true);
+    std::printf("baseline configuration           : %8.1f s\n\n",
+                base);
+
+    std::printf("%-34s %10s %10s\n", "variant", "time", "vs base");
+    struct Variant
+    {
+        const char *label;
+        double rate;
+        std::uint64_t mem;
+        bool d2d;
+    };
+    const Variant variants[] = {
+        {"interconnect 400 MB/s", 400e6, 32ull << 20, true},
+        {"interconnect 100 MB/s", 100e6, 32ull << 20, true},
+        {"memory 64 MB/disk", 200e6, 64ull << 20, true},
+        {"memory 128 MB/disk", 200e6, 128ull << 20, true},
+        {"no direct disk-to-disk", 200e6, 32ull << 20, false},
+        {"400 MB/s + 64 MB", 400e6, 64ull << 20, true},
+        {"400 MB/s, no d2d", 400e6, 32ull << 20, false},
+    };
+    for (const auto &v : variants) {
+        double t = run(task, ndisks, v.rate, v.mem, v.d2d);
+        std::printf("%-34s %9.1fs %9.2fx\n", v.label, t, t / base);
+    }
+
+    std::printf("\nReading the matrix: if 400 MB/s barely moves the "
+                "needle, the interconnect\nis not your bottleneck at "
+                "this scale; if 'no d2d' explodes, the workload\n"
+                "repartitions its data and needs peer-to-peer "
+                "transfers.\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Price/performance comparison — the paper's headline argument.
+ * Runs one task across all three architectures and scales, then
+ * combines the execution times with the Table 1 cost model to print
+ * dollars x seconds (lower is better) and the relative advantage.
+ *
+ * Usage: price_performance [task]
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+
+using namespace howsim;
+using core::Arch;
+using core::ExperimentConfig;
+using workload::TaskKind;
+
+namespace
+{
+
+TaskKind
+parseTask(const char *name)
+{
+    for (auto kind : workload::allTasks)
+        if (workload::taskName(kind) == name)
+            return kind;
+    std::fprintf(stderr, "unknown task '%s', using aggregate\n", name);
+    return TaskKind::Aggregate;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    TaskKind task = argc > 1 ? parseTask(argv[1])
+                             : TaskKind::Aggregate;
+    std::printf("Price/performance for %s (7/99 prices)\n",
+                workload::taskName(task).c_str());
+    std::printf("%5s %9s %12s %14s %16s\n", "scale", "arch",
+                "time (s)", "price ($)", "cost x time");
+
+    for (int scale : {16, 64}) {
+        double ad_metric = 0;
+        for (auto arch : {Arch::ActiveDisk, Arch::Cluster, Arch::Smp}) {
+            ExperimentConfig config;
+            config.arch = arch;
+            config.task = task;
+            config.scale = scale;
+            double secs = core::runExperiment(config).seconds();
+            double price = core::configPrice(arch, scale);
+            double metric = secs * price;
+            if (arch == Arch::ActiveDisk)
+                ad_metric = metric;
+            std::printf("%5d %9s %12.1f %14.0f %13.2e (%.0fx)\n",
+                        scale, core::archName(arch).c_str(), secs,
+                        price, metric, metric / ad_metric);
+        }
+    }
+    std::printf("\nThe paper's conclusion: identical disks and "
+                "processor counts, yet Active\nDisks deliver better "
+                "performance than the SMP at >an order of magnitude\n"
+                "less money, and match clusters at less than half "
+                "the price.\n");
+    return 0;
+}

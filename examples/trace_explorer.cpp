@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Trace explorer: attach a request trace to one drive of an Active
+ * Disk machine, run the external sort, and summarize what the
+ * mechanism actually did — request mix, service-time decomposition,
+ * seek behaviour per phase. This is the drive-level view behind the
+ * paper's Figure 3.
+ *
+ * Usage: trace_explorer [ndisks]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "diskos/active_disk_array.hh"
+#include "sim/simulator.hh"
+#include "tasks/ad_tasks.hh"
+#include "workload/dataset.hh"
+
+using namespace howsim;
+
+int
+main(int argc, char **argv)
+{
+    int ndisks = argc > 1 ? std::atoi(argv[1]) : 16;
+
+    sim::Simulator simulator;
+    diskos::ActiveDiskArray machine(simulator, ndisks,
+                                    disk::DiskSpec::seagateSt39102());
+    std::vector<disk::TraceRecord> trace;
+    machine.drive(0).traceTo(&trace);
+
+    tasks::AdTaskRunner runner(simulator, machine);
+    auto data = workload::DatasetSpec::forTask(
+        workload::TaskKind::Sort);
+    auto result = runner.run(workload::TaskKind::Sort, data);
+
+    std::printf("sort on %d Active Disks: %.1f s; drive 0 serviced "
+                "%zu requests\n\n",
+                ndisks, result.seconds(), trace.size());
+
+    auto summarize = [&](const char *label, auto pred) {
+        std::uint64_t count = 0, bytes = 0;
+        sim::Tick seek = 0, rot = 0, media = 0, queue = 0;
+        for (const auto &rec : trace) {
+            if (!pred(rec))
+                continue;
+            ++count;
+            bytes += static_cast<std::uint64_t>(rec.request.sectors)
+                     * 512;
+            seek += rec.detail.seekTicks;
+            rot += rec.detail.rotationTicks;
+            media += rec.detail.mediaTicks;
+            queue += rec.detail.queueTicks;
+        }
+        if (count == 0)
+            return;
+        std::printf("%-10s %7llu reqs %8.1f MB | per req: seek "
+                    "%5.2f ms rot %5.2f ms media %5.2f ms queue "
+                    "%5.2f ms\n",
+                    label, static_cast<unsigned long long>(count),
+                    static_cast<double>(bytes) / 1e6,
+                    sim::toMilliseconds(seek) / count,
+                    sim::toMilliseconds(rot) / count,
+                    sim::toMilliseconds(media) / count,
+                    sim::toMilliseconds(queue) / count);
+    };
+
+    summarize("reads", [](const disk::TraceRecord &r) {
+        return !r.request.write;
+    });
+    summarize("writes", [](const disk::TraceRecord &r) {
+        return r.request.write;
+    });
+    summarize("all", [](const disk::TraceRecord &) { return true; });
+
+    // Seek-distance histogram: how sequential was the access
+    // pattern?
+    std::uint64_t zero = 0, small = 0, large = 0;
+    std::uint64_t prev_end = 0;
+    for (const auto &rec : trace) {
+        if (rec.request.lba == prev_end)
+            ++zero;
+        else if (rec.request.lba > prev_end
+                     ? rec.request.lba - prev_end < 1u << 16
+                     : prev_end - rec.request.lba < 1u << 16)
+            ++small;
+        else
+            ++large;
+        prev_end = rec.request.lba + rec.request.sectors;
+    }
+    std::printf("\naccess pattern: %llu sequential, %llu near, %llu "
+                "far requests\n",
+                static_cast<unsigned long long>(zero),
+                static_cast<unsigned long long>(small),
+                static_cast<unsigned long long>(large));
+    std::printf("(the merge phase's round-robin over runs shows up "
+                "as 'near/far' hops)\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+#include "arch/cluster_machine.hh"
+
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace howsim::arch
+{
+
+ClusterMachine::ClusterMachine(sim::Simulator &s, int nnodes,
+                               const disk::DiskSpec &spec,
+                               ClusterParams params)
+    : simulator(s), clusterParams(params)
+{
+    if (nnodes <= 0)
+        panic("ClusterMachine: nnodes must be positive");
+    nodes.resize(static_cast<std::size_t>(nnodes));
+    for (int i = 0; i < nnodes; ++i) {
+        auto &node = nodes[static_cast<std::size_t>(i)];
+        node.drive = std::make_unique<disk::Disk>(
+            s, spec, disk::SchedPolicy::Fcfs,
+            "node" + std::to_string(i));
+        node.pci = std::make_unique<bus::Bus>(s,
+                                              clusterParams.nodeBus);
+        node.raw = std::make_unique<os::RawDisk>(
+            *node.drive, node.pci.get(), clusterParams.costs);
+        node.cpu = std::make_unique<os::Cpu>(
+            clusterParams.cpuMhz, os::referenceCpuMhz,
+            clusterParams.costs.contextSwitch);
+    }
+    feCpu = std::make_unique<os::Cpu>(
+        clusterParams.frontendCpuMhz, os::referenceCpuMhz,
+        clusterParams.costs.contextSwitch);
+    // Workers plus the front-end hang off the fabric.
+    fabric = std::make_unique<net::Network>(s, nnodes + 1,
+                                            clusterParams.net);
+    msgLayer = std::make_unique<net::MsgLayer>(s, *fabric);
+    syncBarrier = std::make_unique<net::Barrier>(
+        s, nnodes,
+        net::Barrier::logCost(nnodes,
+                              2 * clusterParams.net.hopLatency
+                                  + sim::microseconds(30)));
+}
+
+os::Cpu &
+ClusterMachine::cpu(int node)
+{
+    return *nodes[static_cast<std::size_t>(node)].cpu;
+}
+
+disk::Disk &
+ClusterMachine::driveMech(int node)
+{
+    return *nodes[static_cast<std::size_t>(node)].drive;
+}
+
+std::uint64_t
+ClusterMachine::driveCapacity() const
+{
+    return nodes.front().drive->capacityBytes();
+}
+
+sim::Coro<os::IoResult>
+ClusterMachine::read(int node, std::uint64_t offset, std::uint64_t bytes)
+{
+    return nodes[static_cast<std::size_t>(node)].raw->read(offset,
+                                                           bytes);
+}
+
+sim::Coro<os::IoResult>
+ClusterMachine::write(int node, std::uint64_t offset,
+                      std::uint64_t bytes)
+{
+    return nodes[static_cast<std::size_t>(node)].raw->write(offset,
+                                                            bytes);
+}
+
+sim::Coro<void>
+ClusterMachine::barrier()
+{
+    co_await syncBarrier->arrive();
+}
+
+} // namespace howsim::arch

@@ -1,0 +1,54 @@
+#include "arch/cost_model.hh"
+
+namespace howsim::arch
+{
+
+double
+PriceSnapshot::adTotal(int n) const
+{
+    double per_drive = seagateSt39102 + cyrix200Mhz + sdram32Mb
+                       + interconnectPerPort + premium;
+    return per_drive * n + fcHostAdaptor + adFrontend;
+}
+
+double
+PriceSnapshot::clusterTotal(int n) const
+{
+    double per_node = seagateSt39102 + clusterNode + networkPerPort;
+    return per_node * n + clusterFrontend;
+}
+
+const std::array<PriceSnapshot, 3> &
+priceHistory()
+{
+    static const std::array<PriceSnapshot, 3> history = {{
+        {
+            "8/98",
+            670, 32, 38, 60, 150, 600, 9000, // Active Disk components
+            1500, 300, 9000,                 // cluster components
+            70000, 167000,                   // published totals
+        },
+        {
+            "11/98",
+            540, 30, 30, 60, 150, 600, 6000,
+            1300, 300, 6000,
+            58000, 143000,
+        },
+        {
+            "7/99",
+            470, 22, 18, 60, 150, 600, 4200,
+            1150, 300, 4200,
+            50000, 108000,
+        },
+    }};
+    return history;
+}
+
+double
+smpPrice(int nprocs)
+{
+    // $1.5M for the 64-processor, 4 GB configuration studied.
+    return 1.5e6 * nprocs / 64.0;
+}
+
+} // namespace howsim::arch

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Component price model reproducing the paper's Table 1: cost
+ * evolution of 64-node Active Disk and commodity cluster
+ * configurations over 8/98 - 7/99, plus the SMP list-price estimate.
+ */
+
+#ifndef HOWSIM_ARCH_COST_MODEL_HH
+#define HOWSIM_ARCH_COST_MODEL_HH
+
+#include <array>
+#include <string>
+
+namespace howsim::arch
+{
+
+/** Component prices at one point in time (US dollars). */
+struct PriceSnapshot
+{
+    std::string date;
+
+    /** @name Per-unit component prices */
+    /** @{ */
+    double seagateSt39102;
+    double cyrix200Mhz;
+    double sdram32Mb;
+    double interconnectPerPort;
+    double premium; //!< high-end component premium per drive
+    double fcHostAdaptor;
+    double adFrontend;
+    double clusterNode; //!< monitor-less PC (without disk)
+    double networkPerPort;
+    double clusterFrontend;
+    /** @} */
+
+    /** @name Totals as published in Table 1 (64 nodes) */
+    /** @{ */
+    double publishedAdTotal;
+    double publishedClusterTotal;
+    /** @} */
+
+    /** Computed Active Disk configuration price for @p n drives. */
+    double adTotal(int n) const;
+
+    /** Computed cluster configuration price for @p n nodes. */
+    double clusterTotal(int n) const;
+};
+
+/** The three snapshots of Table 1. */
+const std::array<PriceSnapshot, 3> &priceHistory();
+
+/**
+ * SMP configuration estimate: the paper prices the 64-processor SGI
+ * Origin 2000 studied (4 GB memory) at ~$1.5M. Other sizes scale by
+ * processor count (boards and memory dominate and scale together).
+ */
+double smpPrice(int nprocs);
+
+} // namespace howsim::arch
+
+#endif // HOWSIM_ARCH_COST_MODEL_HH

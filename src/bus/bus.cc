@@ -1,0 +1,46 @@
+#include "bus/bus.hh"
+
+#include "sim/awaitables.hh"
+#include "sim/logging.hh"
+
+namespace howsim::bus
+{
+
+namespace
+{
+
+/** Validate before the Resource member is constructed from it. */
+const BusParams &
+validated(const BusParams &params)
+{
+    if (params.channels <= 0)
+        panic("Bus '%s': channels must be positive",
+              params.name.c_str());
+    if (params.channelRate <= 0)
+        panic("Bus '%s': channelRate must be positive",
+              params.name.c_str());
+    return params;
+}
+
+} // namespace
+
+Bus::Bus(sim::Simulator &s, BusParams params)
+    : simulator(s), busParams(validated(params)),
+      slots(busParams.channels)
+{
+}
+
+sim::Coro<void>
+Bus::transfer(std::uint64_t bytes)
+{
+    co_await slots.acquire(1);
+    sim::Tick occupancy = busParams.startup
+        + sim::transferTicks(bytes, busParams.channelRate);
+    co_await sim::delay(occupancy);
+    slots.release(1);
+    ++accumulated.transfers;
+    accumulated.bytes += bytes;
+    accumulated.busyTicks += occupancy;
+}
+
+} // namespace howsim::bus

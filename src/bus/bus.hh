@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Queue-based I/O interconnect model.
+ *
+ * Mirrors Howsim's interconnect model: "a simple queue-based model
+ * that has parameters for startup latency, transfer speed and the
+ * capacity of the interconnect". A Bus has a number of independent
+ * channels (e.g. the two loops of a dual Fibre Channel arbitrated
+ * loop); each transfer occupies one channel for
+ * startup + bytes/rate. Transfers queue FIFO when all channels are
+ * busy, which is what turns a shared 200 MB/s interconnect into the
+ * SMP bottleneck the paper measures.
+ */
+
+#ifndef HOWSIM_BUS_BUS_HH
+#define HOWSIM_BUS_BUS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/coro.hh"
+#include "sim/resource.hh"
+#include "sim/simulator.hh"
+#include "sim/ticks.hh"
+
+namespace howsim::bus
+{
+
+/** Interconnect parameterization. */
+struct BusParams
+{
+    std::string name = "bus";
+
+    /** Independent transfer channels (loops/lanes). */
+    int channels = 1;
+
+    /** Bandwidth of one channel, bytes per second. */
+    double channelRate = 100e6;
+
+    /** Per-transfer arbitration/startup latency. */
+    sim::Tick startup = sim::microseconds(1);
+
+    /** Aggregate bandwidth over all channels, bytes/second. */
+    double
+    aggregateRate() const
+    {
+        return channelRate * channels;
+    }
+
+    /**
+     * Dual-loop Fibre Channel arbitrated loop with the given
+     * aggregate bandwidth (the paper's 200 MB/s and 400 MB/s
+     * configurations use 2 loops).
+     */
+    static BusParams
+    fibreChannel(double aggregate_bytes_per_s, int loops = 2)
+    {
+        BusParams p;
+        p.name = "fc-al";
+        p.channels = loops;
+        p.channelRate = aggregate_bytes_per_s / loops;
+        p.startup = sim::microseconds(10);
+        return p;
+    }
+
+    /** Ultra2 SCSI: 80 MB/s single channel. */
+    static BusParams
+    ultra2Scsi()
+    {
+        BusParams p;
+        p.name = "ultra2-scsi";
+        p.channels = 1;
+        p.channelRate = 80e6;
+        p.startup = sim::microseconds(20);
+        return p;
+    }
+
+    /** 33 MHz/32-bit PCI: 133 MB/s single channel. */
+    static BusParams
+    pci33()
+    {
+        BusParams p;
+        p.name = "pci";
+        p.channels = 1;
+        p.channelRate = 133e6;
+        p.startup = sim::microseconds(1);
+        return p;
+    }
+
+    /** Origin-2000-style XIO subsystem: two 700 MB/s I/O nodes. */
+    static BusParams
+    xio()
+    {
+        BusParams p;
+        p.name = "xio";
+        p.channels = 2;
+        p.channelRate = 700e6;
+        p.startup = sim::microseconds(1);
+        return p;
+    }
+};
+
+/** Aggregate bus statistics. */
+struct BusStats
+{
+    std::uint64_t transfers = 0;
+    std::uint64_t bytes = 0;
+    sim::Tick busyTicks = 0;
+};
+
+/** A shared interconnect; see the file comment for the model. */
+class Bus
+{
+  public:
+    Bus(sim::Simulator &s, BusParams params);
+
+    Bus(const Bus &) = delete;
+    Bus &operator=(const Bus &) = delete;
+
+    /**
+     * Move @p bytes across the interconnect: waits for a free
+     * channel, then occupies it for startup + bytes/rate.
+     */
+    sim::Coro<void> transfer(std::uint64_t bytes);
+
+    const BusParams &params() const { return busParams; }
+    const BusStats &stats() const { return accumulated; }
+
+    /** Transfers currently waiting for a channel. */
+    std::size_t queueLength() const { return slots.queueLength(); }
+
+    /** Aggregate time transfers spent waiting for a channel. */
+    sim::Tick totalWait() const { return slots.totalWait(); }
+
+    /** Fraction of channel capacity in use over @p elapsed ticks. */
+    double
+    utilization(sim::Tick elapsed) const
+    {
+        return slots.utilization(elapsed);
+    }
+
+  private:
+    sim::Simulator &simulator;
+    BusParams busParams;
+    sim::Resource slots;
+    BusStats accumulated;
+};
+
+} // namespace howsim::bus
+
+#endif // HOWSIM_BUS_BUS_HH

@@ -1,0 +1,84 @@
+#include "core/experiment.hh"
+
+#include "arch/cluster_machine.hh"
+#include "arch/cost_model.hh"
+#include "diskos/active_disk_array.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+#include "smp/smp_machine.hh"
+#include "tasks/ad_tasks.hh"
+#include "tasks/cluster_tasks.hh"
+#include "tasks/smp_tasks.hh"
+
+namespace howsim::core
+{
+
+std::string
+archName(Arch arch)
+{
+    switch (arch) {
+      case Arch::ActiveDisk:
+        return "active";
+      case Arch::Cluster:
+        return "cluster";
+      case Arch::Smp:
+        return "smp";
+    }
+    panic("unknown Arch");
+}
+
+tasks::TaskResult
+runExperiment(const ExperimentConfig &config)
+{
+    auto data = workload::DatasetSpec::forTask(config.task);
+    sim::Simulator simulator;
+    switch (config.arch) {
+      case Arch::ActiveDisk: {
+        diskos::AdParams params;
+        params.memoryBytes = config.adMemoryBytes;
+        params.interconnectRate = config.interconnectRate;
+        params.interconnectLoops = config.interconnectLoops;
+        params.directD2d = config.directD2d;
+        params.frontendCpuMhz = config.adFrontendMhz;
+        diskos::ActiveDiskArray machine(simulator, config.scale,
+                                        config.drive, params);
+        tasks::AdTaskRunner runner(simulator, machine, config.costs);
+        return runner.run(config.task, data);
+      }
+      case Arch::Cluster: {
+        arch::ClusterParams params;
+        arch::ClusterMachine machine(simulator, config.scale,
+                                     config.drive, params);
+        tasks::ClusterTaskRunner runner(simulator, machine,
+                                        config.costs);
+        return runner.run(config.task, data);
+      }
+      case Arch::Smp: {
+        smp::SmpParams params;
+        params.fcRate = config.interconnectRate;
+        params.fcLoops = config.interconnectLoops;
+        smp::SmpMachine machine(simulator, config.scale, config.scale,
+                                config.drive, params);
+        tasks::SmpTaskRunner runner(simulator, machine, config.costs);
+        return runner.run(config.task, data);
+      }
+    }
+    panic("unknown Arch");
+}
+
+double
+configPrice(Arch arch, int scale)
+{
+    const auto &latest = arch::priceHistory().back();
+    switch (arch) {
+      case Arch::ActiveDisk:
+        return latest.adTotal(scale);
+      case Arch::Cluster:
+        return latest.clusterTotal(scale);
+      case Arch::Smp:
+        return arch::smpPrice(scale);
+    }
+    panic("unknown Arch");
+}
+
+} // namespace howsim::core

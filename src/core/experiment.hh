@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Experiment driver: configure a machine (architecture, scale,
+ * design-choice variants), run one decision support task on it, and
+ * report the result. This is the top of the public API — every
+ * benchmark binary and example drives the simulator through it.
+ */
+
+#ifndef HOWSIM_CORE_EXPERIMENT_HH
+#define HOWSIM_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "disk/disk_spec.hh"
+#include "tasks/task_result.hh"
+#include "workload/cost_model.hh"
+#include "workload/dataset.hh"
+#include "workload/task_kind.hh"
+
+namespace howsim::core
+{
+
+/** The three architectures under comparison. */
+enum class Arch
+{
+    ActiveDisk,
+    Cluster,
+    Smp,
+};
+
+/** Short name ("active", "cluster", "smp"). */
+std::string archName(Arch arch);
+
+/** One experiment: a task on a machine configuration. */
+struct ExperimentConfig
+{
+    Arch arch = Arch::ActiveDisk;
+    workload::TaskKind task = workload::TaskKind::Select;
+
+    /** Disks; processors scale with it on every architecture. */
+    int scale = 16;
+
+    /** @name Design-choice variants (defaults = paper core config) */
+    /** @{ */
+
+    /** Memory per Active Disk. */
+    std::uint64_t adMemoryBytes = 32ull << 20;
+
+    /** Serial I/O interconnect aggregate rate (AD and SMP). */
+    double interconnectRate = 200e6;
+
+    /**
+     * Loops composing the serial interconnect (AD and SMP). The
+     * paper's core configuration is a dual loop; its conclusion
+     * recommends "multiple fibre channel loops connected by a
+     * FibreSwitch" beyond 64 disks — model that by raising the loop
+     * count along with the aggregate rate.
+     */
+    int interconnectLoops = 2;
+
+    /** Direct disk-to-disk communication (AD). */
+    bool directD2d = true;
+
+    /** Front-end host clock (AD). */
+    double adFrontendMhz = 450;
+
+    /** Drive model (Figure 3's "Fast Disk" swaps this). */
+    disk::DiskSpec drive = disk::DiskSpec::seagateSt39102();
+
+    /** @} */
+
+    workload::CostModel costs = workload::CostModel::calibrated();
+};
+
+/** Build the machine, run the task, and return the timings. */
+tasks::TaskResult runExperiment(const ExperimentConfig &config);
+
+/**
+ * Estimated configuration price in dollars (7/99 snapshot for AD and
+ * cluster; the SGI list-price estimate for the SMP).
+ */
+double configPrice(Arch arch, int scale);
+
+} // namespace howsim::core
+
+#endif // HOWSIM_CORE_EXPERIMENT_HH

@@ -1,0 +1,90 @@
+#include "core/report.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace howsim::core
+{
+
+Table::Table(std::vector<std::string> headers)
+    : header(std::move(headers))
+{
+    if (header.empty())
+        panic("Table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != header.size())
+        panic("Table row has %zu cells, expected %zu", cells.size(),
+              header.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int decimals)
+{
+    return strprintf("%.*f", decimals, v);
+}
+
+void
+Table::print(std::FILE *out) const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            std::fprintf(out, "%-*s%s",
+                         static_cast<int>(widths[c]), cells[c].c_str(),
+                         c + 1 < cells.size() ? "  " : "\n");
+        }
+    };
+    emit(header);
+    for (const auto &row : rows)
+        emit(row);
+}
+
+std::string
+Table::toCsv() const
+{
+    std::string out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out += cells[c];
+            out += c + 1 < cells.size() ? "," : "\n";
+        }
+    };
+    emit(header);
+    for (const auto &row : rows)
+        emit(row);
+    return out;
+}
+
+bool
+Table::maybeWriteCsv(const std::string &name) const
+{
+    const char *dir = std::getenv("HOWSIM_CSV_DIR");
+    if (!dir)
+        return false;
+    std::string path = std::string(dir) + "/" + name + ".csv";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot write %s", path.c_str());
+        return false;
+    }
+    std::string csv = toCsv();
+    std::fwrite(csv.data(), 1, csv.size(), f);
+    std::fclose(f);
+    inform("wrote %s", path.c_str());
+    return true;
+}
+
+} // namespace howsim::core

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Result-table utility for the benchmark harness: accumulate rows,
+ * print aligned text, and optionally persist CSV for plotting.
+ */
+
+#ifndef HOWSIM_CORE_REPORT_HH
+#define HOWSIM_CORE_REPORT_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace howsim::core
+{
+
+/** A small column-aligned results table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p decimals places. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Render with aligned columns to @p out (default stdout). */
+    void print(std::FILE *out = stdout) const;
+
+    /** RFC-4180-ish CSV (no quoting needed for our content). */
+    std::string toCsv() const;
+
+    /**
+     * If the HOWSIM_CSV_DIR environment variable is set, write the
+     * table to <dir>/<name>.csv and return true.
+     */
+    bool maybeWriteCsv(const std::string &name) const;
+
+    std::size_t rowCount() const { return rows.size(); }
+    std::size_t columnCount() const { return header.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace howsim::core
+
+#endif // HOWSIM_CORE_REPORT_HH

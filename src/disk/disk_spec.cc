@@ -1,0 +1,139 @@
+#include "disk/disk_spec.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace howsim::disk
+{
+
+namespace
+{
+
+/**
+ * Build a zone table whose media rate sweeps linearly from
+ * @p min_rate to @p max_rate (bytes/s) across @p nzones zones, sized
+ * so total capacity approximates @p capacity bytes.
+ */
+std::vector<DiskSpec::Zone>
+makeZones(double rpm, std::uint32_t sector_bytes,
+          std::uint32_t tracks_per_cyl, double min_rate, double max_rate,
+          double capacity, unsigned nzones)
+{
+    const double rev_s = 60.0 / rpm;
+    std::vector<DiskSpec::Zone> zones(nzones);
+    // Sectors per track for each zone, outermost (fastest) first.
+    double total_weight = 0;
+    std::vector<double> spt(nzones);
+    for (unsigned z = 0; z < nzones; ++z) {
+        double frac = nzones == 1
+            ? 0.0 : static_cast<double>(z) / (nzones - 1);
+        double rate = max_rate + (min_rate - max_rate) * frac;
+        spt[z] = rate * rev_s / sector_bytes;
+        total_weight += spt[z];
+    }
+    // Distribute cylinders so each zone holds an equal share of the
+    // capacity (more cylinders in slower zones).
+    for (unsigned z = 0; z < nzones; ++z) {
+        double zone_bytes = capacity / nzones;
+        double bytes_per_cyl = spt[z] * sector_bytes * tracks_per_cyl;
+        zones[z].sectorsPerTrack
+            = static_cast<std::uint32_t>(std::lround(spt[z]));
+        zones[z].cylinders = static_cast<std::uint32_t>(
+            std::lround(zone_bytes / bytes_per_cyl));
+    }
+    return zones;
+}
+
+} // namespace
+
+std::uint32_t
+DiskSpec::totalCylinders() const
+{
+    std::uint32_t sum = 0;
+    for (const auto &z : zones)
+        sum += z.cylinders;
+    return sum;
+}
+
+std::uint64_t
+DiskSpec::totalSectors() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &z : zones) {
+        sum += static_cast<std::uint64_t>(z.cylinders)
+               * tracksPerCylinder * z.sectorsPerTrack;
+    }
+    return sum;
+}
+
+std::uint64_t
+DiskSpec::capacityBytes() const
+{
+    return totalSectors() * sectorBytes;
+}
+
+double
+DiskSpec::mediaRate(std::size_t zone_index) const
+{
+    if (zone_index >= zones.size())
+        panic("mediaRate: zone %zu out of range", zone_index);
+    return static_cast<double>(zones[zone_index].sectorsPerTrack)
+           * sectorBytes * rpm / 60.0;
+}
+
+double
+DiskSpec::minMediaRate() const
+{
+    return mediaRate(zones.size() - 1);
+}
+
+double
+DiskSpec::maxMediaRate() const
+{
+    return mediaRate(0);
+}
+
+DiskSpec
+DiskSpec::seagateSt39102()
+{
+    DiskSpec s;
+    s.name = "Seagate ST39102 (Cheetah 9LP)";
+    s.rpm = 10025;
+    s.tracksPerCylinder = 12;
+    s.zones = makeZones(s.rpm, s.sectorBytes, s.tracksPerCylinder,
+                        14.5e6, 21.3e6, 9.1e9, 10);
+    s.trackToTrackMs = 0.6;
+    s.avgSeekMs = 5.4;
+    s.maxSeekMs = 12.2;
+    s.writeSeekPenaltyMs = 0.8; // 6.2 ms avg write seek
+    s.headSwitchMs = 0.8;
+    s.cylinderSwitchMs = 1.0;
+    s.controllerOverheadMs = 0.3;
+    s.cacheBytes = 1 << 20;
+    s.cacheSegments = 8;
+    return s;
+}
+
+DiskSpec
+DiskSpec::hitachiDk3e1t91()
+{
+    DiskSpec s;
+    s.name = "Hitachi DK3E1T-91";
+    s.rpm = 12030;
+    s.tracksPerCylinder = 12;
+    s.zones = makeZones(s.rpm, s.sectorBytes, s.tracksPerCylinder,
+                        18.3e6, 27.3e6, 9.2e9, 10);
+    s.trackToTrackMs = 0.5;
+    s.avgSeekMs = 5.0;
+    s.maxSeekMs = 10.5;
+    s.writeSeekPenaltyMs = 1.0; // 6 ms avg write seek
+    s.headSwitchMs = 0.7;
+    s.cylinderSwitchMs = 0.9;
+    s.controllerOverheadMs = 0.3;
+    s.cacheBytes = 1 << 20;
+    s.cacheSegments = 8;
+    return s;
+}
+
+} // namespace howsim::disk

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Parameter sets describing disk drive models.
+ *
+ * Specs are calibrated from the published data sheets the paper used:
+ * the Seagate ST39102 (Cheetah 9LP family) for the core experiments
+ * and the Hitachi DK3E1T-91 for the "Fast Disk" variant of Figure 3.
+ */
+
+#ifndef HOWSIM_DISK_DISK_SPEC_HH
+#define HOWSIM_DISK_DISK_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace howsim::disk
+{
+
+/** Full parameterization of a disk drive model. */
+struct DiskSpec
+{
+    /** A band of cylinders with constant sectors-per-track. */
+    struct Zone
+    {
+        std::uint32_t cylinders;
+        std::uint32_t sectorsPerTrack;
+    };
+
+    std::string name;
+
+    /** Spindle speed in revolutions per minute. */
+    double rpm = 10025;
+
+    std::uint32_t sectorBytes = 512;
+
+    /** Recording surfaces (tracks per cylinder). */
+    std::uint32_t tracksPerCylinder = 12;
+
+    /** Zones ordered from the outermost (fastest, lowest LBA). */
+    std::vector<Zone> zones;
+
+    /** @name Seek characteristics (milliseconds, read curve) */
+    /** @{ */
+    double trackToTrackMs = 0.6;
+    double avgSeekMs = 5.4;
+    double maxSeekMs = 12.2;
+    /** @} */
+
+    /** Extra seek time for writes (settle margin), milliseconds. */
+    double writeSeekPenaltyMs = 0.8;
+
+    /** Head switch within a cylinder, milliseconds. */
+    double headSwitchMs = 0.8;
+
+    /** Track-to-track cylinder advance during transfer, ms. */
+    double cylinderSwitchMs = 1.0;
+
+    /** Fixed controller overhead charged per request, ms. */
+    double controllerOverheadMs = 0.3;
+
+    /** On-drive cache size in bytes and its segment count. */
+    std::uint64_t cacheBytes = 1 << 20;
+    std::uint32_t cacheSegments = 8;
+
+    /** Total number of cylinders over all zones. */
+    std::uint32_t totalCylinders() const;
+
+    /** Total addressable sectors. */
+    std::uint64_t totalSectors() const;
+
+    /** Total capacity in bytes. */
+    std::uint64_t capacityBytes() const;
+
+    /** One spindle revolution in nanoseconds. */
+    double revolutionNs() const { return 60.0e9 / rpm; }
+
+    /**
+     * Media transfer rate of @p zone_index in bytes/second
+     * (sectors-per-track * sector size per revolution).
+     */
+    double mediaRate(std::size_t zone_index) const;
+
+    /** Lowest (innermost zone) media rate in bytes/second. */
+    double minMediaRate() const;
+
+    /** Highest (outermost zone) media rate in bytes/second. */
+    double maxMediaRate() const;
+
+    /**
+     * Seagate ST39102 (Cheetah 9LP): 10,025 RPM, 14.5-21.3 MB/s
+     * formatted media rate, 5.4/6.2 ms average seek, 9.1 GB.
+     */
+    static DiskSpec seagateSt39102();
+
+    /**
+     * Hitachi DK3E1T-91: 12,030 RPM, 18.3-27.3 MB/s media rate,
+     * 5/6 ms average seek — the paper's "Fast Disk".
+     */
+    static DiskSpec hitachiDk3e1t91();
+};
+
+} // namespace howsim::disk
+
+#endif // HOWSIM_DISK_DISK_SPEC_HH

@@ -1,0 +1,62 @@
+#include "disk/geometry.hh"
+
+#include "sim/logging.hh"
+
+namespace howsim::disk
+{
+
+Geometry::Geometry(DiskSpec s) : spec(std::move(s))
+{
+    if (spec.zones.empty())
+        panic("Geometry: disk spec '%s' has no zones",
+              spec.name.c_str());
+    std::uint64_t lba = 0;
+    std::uint32_t cyl = 0;
+    revTicks = static_cast<sim::Tick>(spec.revolutionNs());
+    for (const auto &z : spec.zones) {
+        extents.push_back(ZoneExtent{lba, cyl});
+        zoneSectorTicks.push_back(static_cast<sim::Tick>(
+            spec.revolutionNs() / z.sectorsPerTrack));
+        lba += static_cast<std::uint64_t>(z.cylinders)
+               * spec.tracksPerCylinder * z.sectorsPerTrack;
+        cyl += z.cylinders;
+    }
+    sectorCount = lba;
+    cylinderCount = cyl;
+}
+
+Position
+Geometry::locate(std::uint64_t lba) const
+{
+    if (lba >= sectorCount)
+        panic("locate: LBA %llu beyond disk end %llu",
+              static_cast<unsigned long long>(lba),
+              static_cast<unsigned long long>(sectorCount));
+    // Zones are few (~10); linear scan is fine and cache-friendly.
+    std::size_t z = extents.size() - 1;
+    while (extents[z].startLba > lba)
+        --z;
+    const auto &zone = spec.zones[z];
+    std::uint64_t off = lba - extents[z].startLba;
+    std::uint64_t sectors_per_cyl = static_cast<std::uint64_t>(
+        spec.tracksPerCylinder) * zone.sectorsPerTrack;
+    Position pos;
+    pos.zone = z;
+    pos.cylinder = extents[z].startCylinder
+                   + static_cast<std::uint32_t>(off / sectors_per_cyl);
+    std::uint64_t in_cyl = off % sectors_per_cyl;
+    pos.track = static_cast<std::uint32_t>(in_cyl / zone.sectorsPerTrack);
+    pos.sector = static_cast<std::uint32_t>(in_cyl % zone.sectorsPerTrack);
+    return pos;
+}
+
+std::size_t
+Geometry::zoneOfCylinder(std::uint32_t cyl) const
+{
+    std::size_t z = extents.size() - 1;
+    while (extents[z].startCylinder > cyl)
+        --z;
+    return z;
+}
+
+} // namespace howsim::disk

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * LBA-to-physical mapping derived from a DiskSpec's zone table.
+ */
+
+#ifndef HOWSIM_DISK_GEOMETRY_HH
+#define HOWSIM_DISK_GEOMETRY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "disk/disk_spec.hh"
+#include "sim/ticks.hh"
+
+namespace howsim::disk
+{
+
+/** Physical location of a logical block. */
+struct Position
+{
+    std::uint32_t cylinder;
+    std::uint32_t track;
+    std::uint32_t sector;
+    std::size_t zone;
+};
+
+/**
+ * Immutable mapping between logical block addresses and physical
+ * (cylinder, track, sector) coordinates, with per-zone timing.
+ * Owns a copy of the spec, so temporaries may be passed in.
+ */
+class Geometry
+{
+  public:
+    explicit Geometry(DiskSpec spec);
+
+    std::uint64_t totalSectors() const { return sectorCount; }
+    std::uint32_t totalCylinders() const { return cylinderCount; }
+
+    /** Physical position of @p lba. @pre lba < totalSectors(). */
+    Position locate(std::uint64_t lba) const;
+
+    /** Zone index containing cylinder @p cyl. */
+    std::size_t zoneOfCylinder(std::uint32_t cyl) const;
+
+    /** Sectors per track in zone @p zone. */
+    std::uint32_t
+    sectorsPerTrack(std::size_t zone) const
+    {
+        return spec.zones[zone].sectorsPerTrack;
+    }
+
+    /** Time for one sector to pass under the head in zone @p zone. */
+    sim::Tick
+    sectorTicks(std::size_t zone) const
+    {
+        return zoneSectorTicks[zone];
+    }
+
+    /** One full revolution in ticks. */
+    sim::Tick revolutionTicks() const { return revTicks; }
+
+    const DiskSpec &diskSpec() const { return spec; }
+
+  private:
+    struct ZoneExtent
+    {
+        std::uint64_t startLba;
+        std::uint32_t startCylinder;
+    };
+
+    DiskSpec spec;
+    std::vector<ZoneExtent> extents;
+    std::vector<sim::Tick> zoneSectorTicks;
+    std::uint64_t sectorCount = 0;
+    std::uint32_t cylinderCount = 0;
+    sim::Tick revTicks = 0;
+};
+
+} // namespace howsim::disk
+
+#endif // HOWSIM_DISK_GEOMETRY_HH

@@ -1,0 +1,79 @@
+#include "disk/seek_curve.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace howsim::disk
+{
+
+SeekCurve::SeekCurve(const DiskSpec &spec, std::uint32_t cylinders)
+    : cyls(cylinders), writePenaltyMs(spec.writeSeekPenaltyMs)
+{
+    if (cylinders < 3)
+        panic("SeekCurve needs at least 3 cylinders");
+    const double t2t = spec.trackToTrackMs;
+    const double avg = spec.avgSeekMs;
+    const double max = spec.maxSeekMs;
+    const double big = static_cast<double>(cylinders - 1);
+
+    // Moments of the cylinder-distance distribution for uniformly
+    // random pairs: P(d) = 2(C-d) / (C(C-1)), d in [1, C-1].
+    const double c_d = static_cast<double>(cylinders);
+    double e_d = 0, e_sqrt = 0;
+    for (std::uint32_t d = 1; d < cylinders; ++d) {
+        double p = 2.0 * (c_d - d) / (c_d * (c_d - 1.0));
+        e_d += p * d;
+        e_sqrt += p * std::sqrt(static_cast<double>(d));
+    }
+
+    // Solve seek(1)=t2t, seek(C-1)=max, E[seek]=avg for (a, b, c) in
+    // seek(d) = a + b sqrt(d) + c d.
+    // Substituting a = t2t - b - c leaves a 2x2 system.
+    const double m11 = std::sqrt(big) - 1.0, m12 = big - 1.0;
+    const double m21 = e_sqrt - 1.0, m22 = e_d - 1.0;
+    const double r1 = max - t2t, r2 = avg - t2t;
+    const double det = m11 * m22 - m12 * m21;
+    if (std::abs(det) < 1e-12)
+        panic("SeekCurve: singular calibration system");
+    b = (r1 * m22 - r2 * m12) / det;
+    c = (m11 * r2 - m21 * r1) / det;
+    a = t2t - b - c;
+
+    if (b < 0 || c < 0) {
+        warn("SeekCurve for '%s': non-monotone fit (b=%f c=%f); "
+             "check the spec's seek figures", spec.name.c_str(), b, c);
+    }
+}
+
+double
+SeekCurve::evalMs(std::uint32_t distance) const
+{
+    if (distance == 0)
+        return 0.0;
+    return a + b * std::sqrt(static_cast<double>(distance))
+           + c * static_cast<double>(distance);
+}
+
+sim::Tick
+SeekCurve::seekTicks(std::uint32_t distance, bool write) const
+{
+    if (distance == 0)
+        return 0;
+    double ms = evalMs(distance) + (write ? writePenaltyMs : 0.0);
+    return sim::fromSeconds(ms * 1e-3);
+}
+
+double
+SeekCurve::meanSeekMs() const
+{
+    const double c_d = static_cast<double>(cyls);
+    double mean = 0;
+    for (std::uint32_t d = 1; d < cyls; ++d) {
+        double p = 2.0 * (c_d - d) / (c_d * (c_d - 1.0));
+        mean += p * evalMs(d);
+    }
+    return mean;
+}
+
+} // namespace howsim::disk

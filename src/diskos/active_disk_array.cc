@@ -1,0 +1,196 @@
+#include "diskos/active_disk_array.hh"
+
+#include <utility>
+
+#include "sim/awaitables.hh"
+#include "sim/logging.hh"
+
+namespace howsim::diskos
+{
+
+namespace
+{
+
+/** Inbox capacity: bounded by the receiving drive's buffer pool. */
+std::size_t
+inboxCapacity(const AdParams &p)
+{
+    return static_cast<std::size_t>(p.commBuffers());
+}
+
+} // namespace
+
+ActiveDiskArray::ActiveDiskArray(sim::Simulator &s, int ndisks,
+                                 const disk::DiskSpec &spec,
+                                 AdParams params)
+    : simulator(s), adParams(params)
+{
+    if (ndisks <= 0)
+        panic("ActiveDiskArray: ndisks must be positive");
+    fc = std::make_unique<bus::Bus>(s, adParams.interconnect());
+    drives.resize(static_cast<std::size_t>(ndisks));
+    for (int d = 0; d < ndisks; ++d) {
+        auto &drv = drives[static_cast<std::size_t>(d)];
+        drv.mech = std::make_unique<disk::Disk>(
+            s, spec, disk::SchedPolicy::Fcfs,
+            "ad" + std::to_string(d));
+        drv.cpu = std::make_unique<os::Cpu>(
+            adParams.cpuMhz, os::referenceCpuMhz,
+            adParams.costs.contextSwitch);
+        drv.commBuffers = std::make_unique<sim::Resource>(
+            adParams.commBuffers());
+        drv.inbox = std::make_unique<sim::Channel<AdBlock>>(
+            inboxCapacity(adParams));
+    }
+    feCpu = std::make_unique<os::Cpu>(
+        adParams.frontendCpuMhz, os::referenceCpuMhz,
+        os::OsCosts::measuredPentiumII().contextSwitch);
+    feBuffers = std::make_unique<sim::Resource>(adParams.frontendBuffers);
+    feInbox = std::make_unique<sim::Channel<AdBlock>>();
+    // Barrier completion modeled as a logarithmic exchange over the
+    // serial interconnect.
+    syncBarrier = std::make_unique<net::Barrier>(
+        s, ndisks,
+        net::Barrier::logCost(ndisks, 2 * adParams.interconnect().startup
+                                          + sim::microseconds(20)));
+}
+
+disk::Disk &
+ActiveDiskArray::drive(int d)
+{
+    return *drives[static_cast<std::size_t>(d)].mech;
+}
+
+os::Cpu &
+ActiveDiskArray::cpu(int d)
+{
+    return *drives[static_cast<std::size_t>(d)].cpu;
+}
+
+const AdDiskStats &
+ActiveDiskArray::diskStats(int d) const
+{
+    return drives[static_cast<std::size_t>(d)].stats;
+}
+
+sim::Channel<AdBlock> &
+ActiveDiskArray::inbox(int d)
+{
+    return *drives[static_cast<std::size_t>(d)].inbox;
+}
+
+std::uint64_t
+ActiveDiskArray::driveCapacity() const
+{
+    return drives.front().mech->capacityBytes();
+}
+
+sim::Coro<void>
+ActiveDiskArray::readLocal(int d, std::uint64_t offset,
+                           std::uint64_t bytes)
+{
+    auto &drv = drives[static_cast<std::size_t>(d)];
+    co_await sim::delay(adParams.costs.ioQueue);
+    const std::uint32_t sector = drv.mech->spec().sectorBytes;
+    std::uint64_t first = offset / sector;
+    std::uint64_t last = (offset + bytes + sector - 1) / sector;
+    co_await drv.mech->access(disk::DiskRequest{
+        first, static_cast<std::uint32_t>(last - first), false});
+    co_await sim::delay(adParams.costs.interrupt);
+}
+
+sim::Coro<void>
+ActiveDiskArray::writeLocal(int d, std::uint64_t offset,
+                            std::uint64_t bytes)
+{
+    auto &drv = drives[static_cast<std::size_t>(d)];
+    co_await sim::delay(adParams.costs.ioQueue);
+    const std::uint32_t sector = drv.mech->spec().sectorBytes;
+    std::uint64_t first = offset / sector;
+    std::uint64_t last = (offset + bytes + sector - 1) / sector;
+    co_await drv.mech->access(disk::DiskRequest{
+        first, static_cast<std::uint32_t>(last - first), true});
+    co_await sim::delay(adParams.costs.interrupt);
+}
+
+sim::Coro<void>
+ActiveDiskArray::compute(int d, sim::Tick ref_ticks)
+{
+    co_await drives[static_cast<std::size_t>(d)].cpu->compute(ref_ticks);
+}
+
+sim::Coro<void>
+ActiveDiskArray::relayViaFrontend(std::uint64_t bytes)
+{
+    // The block lands in front-end memory and is copied out again by
+    // the front-end CPU; both copies contend for that single CPU.
+    co_await feBuffers->acquire();
+    co_await feCpu->copyBytes(bytes, adParams.frontendCopyRefRate());
+    co_await feCpu->copyBytes(bytes, adParams.frontendCopyRefRate());
+    co_await fc->transfer(bytes);
+    feBuffers->release();
+    feStats.bytesRelayed += bytes;
+}
+
+sim::Coro<void>
+ActiveDiskArray::send(int src, int dst, AdBlock block)
+{
+    if (src < 0 || src >= size() || dst < 0 || dst >= size())
+        panic("ActiveDiskArray::send: bad endpoints %d -> %d", src, dst);
+    block.src = src;
+    auto &from = drives[static_cast<std::size_t>(src)];
+    std::uint64_t bytes = block.bytes;
+
+    co_await from.commBuffers->acquire();
+    co_await fc->transfer(bytes);
+    if (!adParams.directD2d)
+        co_await relayViaFrontend(bytes);
+    from.commBuffers->release();
+
+    from.stats.bytesSent += bytes;
+    drives[static_cast<std::size_t>(dst)].stats.bytesReceived += bytes;
+    co_await drives[static_cast<std::size_t>(dst)].inbox->send(
+        std::move(block));
+}
+
+sim::Coro<void>
+ActiveDiskArray::sendToFrontend(int src, AdBlock block)
+{
+    if (src < 0 || src >= size())
+        panic("ActiveDiskArray::sendToFrontend: bad source %d", src);
+    block.src = src;
+    auto &from = drives[static_cast<std::size_t>(src)];
+    std::uint64_t bytes = block.bytes;
+
+    co_await from.commBuffers->acquire();
+    co_await fc->transfer(bytes);
+    // Ingest copy into front-end memory.
+    co_await feCpu->copyBytes(bytes, adParams.frontendCopyRefRate());
+    from.commBuffers->release();
+
+    from.stats.bytesSent += bytes;
+    feStats.bytesIngested += bytes;
+    co_await feInbox->send(std::move(block));
+}
+
+sim::Coro<void>
+ActiveDiskArray::frontendSend(int dst, AdBlock block)
+{
+    if (dst < 0 || dst >= size())
+        panic("ActiveDiskArray::frontendSend: bad destination %d", dst);
+    block.src = -1;
+    std::uint64_t bytes = block.bytes;
+    co_await feCpu->copyBytes(bytes, adParams.frontendCopyRefRate());
+    co_await fc->transfer(bytes);
+    drives[static_cast<std::size_t>(dst)].stats.bytesReceived += bytes;
+    co_await drives[static_cast<std::size_t>(dst)].inbox->send(
+        std::move(block));
+}
+
+sim::Coro<void>
+ActiveDiskArray::barrier()
+{
+    co_await syncBarrier->arrive();
+}
+
+} // namespace howsim::diskos

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The Active Disk array: drives with embedded processors and DiskOS,
+ * a shared serial interconnect, and the front-end host.
+ *
+ * DiskOS semantics modeled here:
+ *  - Disklets compute on the drive's embedded CPU (a unit resource).
+ *  - Local media I/O does not touch the serial interconnect.
+ *  - Inter-device communication is flow-controlled by a fixed pool
+ *    of DiskOS stream buffers per drive (scaling with drive memory).
+ *  - With direct disk-to-disk communication, a block crosses the
+ *    interconnect once. In the restricted architecture it crosses
+ *    twice and is copied in and out of front-end memory by the
+ *    front-end CPU, which becomes the bottleneck under load.
+ */
+
+#ifndef HOWSIM_DISKOS_ACTIVE_DISK_ARRAY_HH
+#define HOWSIM_DISKOS_ACTIVE_DISK_ARRAY_HH
+
+#include <any>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bus/bus.hh"
+#include "disk/disk.hh"
+#include "diskos/ad_params.hh"
+#include "net/msg.hh"
+#include "os/cpu.hh"
+#include "sim/channel.hh"
+#include "sim/coro.hh"
+#include "sim/resource.hh"
+#include "sim/simulator.hh"
+
+namespace howsim::diskos
+{
+
+/** A block delivered to a drive's stream inbox. */
+struct AdBlock
+{
+    int src = -1;
+    int tag = 0;
+    std::uint64_t bytes = 0;
+    std::any payload;
+};
+
+/** Per-drive statistics beyond the mechanism's own. */
+struct AdDiskStats
+{
+    std::uint64_t bytesSent = 0;
+    std::uint64_t bytesReceived = 0;
+};
+
+/** Front-end statistics. */
+struct FrontendStats
+{
+    std::uint64_t bytesIngested = 0;
+    std::uint64_t bytesRelayed = 0;
+};
+
+/**
+ * A complete Active Disk machine. Drives are numbered [0, size);
+ * the front-end is a separate endpoint reached via sendToFrontend().
+ */
+class ActiveDiskArray
+{
+  public:
+    ActiveDiskArray(sim::Simulator &s, int ndisks,
+                    const disk::DiskSpec &spec, AdParams params = {});
+
+    ActiveDiskArray(const ActiveDiskArray &) = delete;
+    ActiveDiskArray &operator=(const ActiveDiskArray &) = delete;
+
+    int size() const { return static_cast<int>(drives.size()); }
+    const AdParams &params() const { return adParams; }
+
+    /** @name Per-drive operations (disklet-facing API) */
+    /** @{ */
+
+    /** Stream @p bytes from local media at byte @p offset. */
+    sim::Coro<void> readLocal(int d, std::uint64_t offset,
+                              std::uint64_t bytes);
+
+    /** Stream @p bytes to local media at byte @p offset. */
+    sim::Coro<void> writeLocal(int d, std::uint64_t offset,
+                               std::uint64_t bytes);
+
+    /** Run @p ref_ticks of reference-CPU disklet work on drive d. */
+    sim::Coro<void> compute(int d, sim::Tick ref_ticks);
+
+    /**
+     * Send a block to a peer drive. Waits for a DiskOS stream buffer
+     * (flow control) and routes directly or via the front-end per
+     * the configured communication architecture.
+     */
+    sim::Coro<void> send(int src, int dst, AdBlock block);
+
+    /** Send a block to the front-end host. */
+    sim::Coro<void> sendToFrontend(int src, AdBlock block);
+
+    /**
+     * Send a block from the front-end host to a drive (candidate
+     * broadcasts, control data): front-end copy-out plus an
+     * interconnect crossing.
+     */
+    sim::Coro<void> frontendSend(int dst, AdBlock block);
+
+    /** Inbox of blocks delivered to drive @p d. */
+    sim::Channel<AdBlock> &inbox(int d);
+
+    /** Blocks delivered to the front-end. */
+    sim::Channel<AdBlock> &frontendInbox() { return *feInbox; }
+
+    /** @} */
+
+    /** Barrier over all drives (front-end coordinated). */
+    sim::Coro<void> barrier();
+
+    /** Underlying drive mechanism (stats, capacity). */
+    disk::Disk &drive(int d);
+
+    /** Embedded CPU of drive @p d. */
+    os::Cpu &cpu(int d);
+
+    /** Front-end host CPU. */
+    os::Cpu &frontendCpu() { return *feCpu; }
+
+    const bus::Bus &interconnect() const { return *fc; }
+    const AdDiskStats &diskStats(int d) const;
+    const FrontendStats &frontendStats() const { return feStats; }
+
+    /** Usable bytes per drive. */
+    std::uint64_t driveCapacity() const;
+
+  private:
+    struct Drive
+    {
+        std::unique_ptr<disk::Disk> mech;
+        std::unique_ptr<os::Cpu> cpu;
+        std::unique_ptr<sim::Resource> commBuffers;
+        std::unique_ptr<sim::Channel<AdBlock>> inbox;
+        AdDiskStats stats;
+    };
+
+    sim::Coro<void> relayViaFrontend(std::uint64_t bytes);
+
+    sim::Simulator &simulator;
+    AdParams adParams;
+    std::vector<Drive> drives;
+    std::unique_ptr<bus::Bus> fc;
+    std::unique_ptr<os::Cpu> feCpu;
+    std::unique_ptr<sim::Resource> feBuffers;
+    std::unique_ptr<sim::Channel<AdBlock>> feInbox;
+    std::unique_ptr<net::Barrier> syncBarrier;
+    FrontendStats feStats;
+};
+
+} // namespace howsim::diskos
+
+#endif // HOWSIM_DISKOS_ACTIVE_DISK_ARRAY_HH

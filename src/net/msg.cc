@@ -1,0 +1,121 @@
+#include "net/msg.hh"
+
+#include <cmath>
+#include <utility>
+
+#include "sim/awaitables.hh"
+#include "sim/logging.hh"
+
+namespace howsim::net
+{
+
+MsgLayer::MsgLayer(sim::Simulator &s, Network &n, MsgParams params)
+    : simulator(s), network(n), msgParams(params)
+{
+}
+
+MsgLayer::Queue &
+MsgLayer::queueFor(int host, int tag)
+{
+    auto key = std::make_pair(host, tag);
+    auto it = queues.find(key);
+    if (it == queues.end()) {
+        it = queues.emplace(key, std::make_unique<Queue>()).first;
+    }
+    return *it->second;
+}
+
+sim::Coro<void>
+MsgLayer::send(int src, int dst, Message msg)
+{
+    msg.src = src;
+    co_await sim::delay(msgParams.sendOverhead);
+    co_await network.transport(src, dst, msg.bytes);
+    int tag = msg.tag;
+    co_await queueFor(dst, tag).send(std::move(msg));
+}
+
+sim::ProcessRef
+MsgLayer::postSend(int src, int dst, Message msg)
+{
+    return simulator.spawnDetached(send(src, dst, std::move(msg)),
+                                   "isend");
+}
+
+sim::Coro<Message>
+MsgLayer::recv(int host, int tag)
+{
+    auto m = co_await queueFor(host, tag).recv();
+    if (!m)
+        panic("MsgLayer::recv on closed queue");
+    co_await sim::delay(msgParams.recvOverhead);
+    co_return std::move(*m);
+}
+
+std::size_t
+MsgLayer::pendingCount(int host, int tag)
+{
+    return queueFor(host, tag).size();
+}
+
+Barrier::Barrier(sim::Simulator &s, int n, sim::Tick cost)
+    : simulator(s), expected(n), completionCost(cost),
+      current(std::make_shared<sim::Trigger>())
+{
+    if (n <= 0)
+        panic("Barrier of non-positive size");
+}
+
+sim::Tick
+Barrier::logCost(int n, sim::Tick per_step)
+{
+    if (n <= 1)
+        return 0;
+    int steps = static_cast<int>(
+        std::ceil(std::log2(static_cast<double>(n))));
+    return static_cast<sim::Tick>(steps) * per_step;
+}
+
+sim::Coro<void>
+Barrier::arrive()
+{
+    auto round = current;
+    if (++count == expected) {
+        count = 0;
+        ++gen;
+        current = std::make_shared<sim::Trigger>();
+        simulator.scheduleIn(completionCost,
+                             [round] { round->fire(); });
+    }
+    co_await round->wait();
+}
+
+AllReduce::AllReduce(sim::Simulator &s, int n, sim::Tick cost, Op op)
+    : simulator(s), expected(n), completionCost(cost),
+      combine(std::move(op)), current(std::make_shared<Round>())
+{
+    if (n <= 0)
+        panic("AllReduce of non-positive size");
+}
+
+sim::Coro<double>
+AllReduce::arrive(double value)
+{
+    auto round = current;
+    if (round->first) {
+        round->acc = value;
+        round->first = false;
+    } else {
+        round->acc = combine(round->acc, value);
+    }
+    if (++count == expected) {
+        count = 0;
+        current = std::make_shared<Round>();
+        simulator.scheduleIn(completionCost,
+                             [round] { round->trig.fire(); });
+    }
+    co_await round->trig.wait();
+    co_return round->acc;
+}
+
+} // namespace howsim::net

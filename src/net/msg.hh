@@ -1,0 +1,157 @@
+/**
+ * @file
+ * MPI-like message-passing layer over the switched network.
+ *
+ * Mirrors the user-space messaging library Howsim's Netsim models:
+ * asynchronous point-to-point sends with per-message software
+ * overheads, any-source receives (per-tag queues), and global
+ * synchronization (barrier, all-reduce) with logarithmic cost.
+ */
+
+#ifndef HOWSIM_NET_MSG_HH
+#define HOWSIM_NET_MSG_HH
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/network.hh"
+#include "sim/channel.hh"
+#include "sim/coro.hh"
+#include "sim/simulator.hh"
+#include "sim/ticks.hh"
+
+namespace howsim::net
+{
+
+/** A delivered message. */
+struct Message
+{
+    int src = -1;
+    int tag = 0;
+    std::uint64_t bytes = 0;
+    /** Optional model-level payload (not part of the timing). */
+    std::any payload;
+};
+
+/** Software costs of the messaging library. */
+struct MsgParams
+{
+    /** CPU time to post a send. */
+    sim::Tick sendOverhead = sim::microseconds(15);
+
+    /** CPU time to complete a receive. */
+    sim::Tick recvOverhead = sim::microseconds(15);
+};
+
+/**
+ * Message endpoints for every host on a Network. One instance serves
+ * the whole machine; hosts are identified by their network ids.
+ */
+class MsgLayer
+{
+  public:
+    MsgLayer(sim::Simulator &s, Network &n, MsgParams params = {});
+
+    /**
+     * Synchronous send: charges the send overhead, moves the bytes,
+     * and completes once the message is enqueued at the destination.
+     */
+    sim::Coro<void> send(int src, int dst, Message msg);
+
+    /**
+     * Asynchronous send: the transfer proceeds in the background
+     * (join the returned process to await local completion).
+     */
+    sim::ProcessRef postSend(int src, int dst, Message msg);
+
+    /**
+     * Receive the next message for (@p host, @p tag), any source.
+     * Charges the receive overhead.
+     */
+    sim::Coro<Message> recv(int host, int tag = 0);
+
+    /** Messages waiting in (@p host, @p tag)'s queue. */
+    std::size_t pendingCount(int host, int tag = 0);
+
+    const MsgParams &params() const { return msgParams; }
+
+  private:
+    using Queue = sim::Channel<Message>;
+
+    Queue &queueFor(int host, int tag);
+
+    sim::Simulator &simulator;
+    Network &network;
+    MsgParams msgParams;
+    std::map<std::pair<int, int>, std::unique_ptr<Queue>> queues;
+};
+
+/**
+ * Reusable all-to-all barrier for a fixed-size group. Completion is
+ * charged a logarithmic (dissemination-style) latency.
+ */
+class Barrier
+{
+  public:
+    /**
+     * @param n     Number of participants per round.
+     * @param cost  Modeled completion latency once all have arrived.
+     */
+    Barrier(sim::Simulator &s, int n, sim::Tick cost);
+
+    /** Arrive and wait for the round to complete. */
+    sim::Coro<void> arrive();
+
+    /** Rounds completed so far. */
+    int generation() const { return gen; }
+
+    /** Dissemination-cost helper: ceil(log2 n) * per_step. */
+    static sim::Tick logCost(int n, sim::Tick per_step);
+
+  private:
+    sim::Simulator &simulator;
+    int expected;
+    sim::Tick completionCost;
+    int count = 0;
+    int gen = 0;
+    std::shared_ptr<sim::Trigger> current;
+};
+
+/**
+ * Reusable all-reduce over double values for a fixed-size group.
+ * Latency model matches Barrier.
+ */
+class AllReduce
+{
+  public:
+    using Op = std::function<double(double, double)>;
+
+    AllReduce(sim::Simulator &s, int n, sim::Tick cost,
+              Op op = [](double a, double b) { return a + b; });
+
+    /** Contribute @p value; resumes with the combined result. */
+    sim::Coro<double> arrive(double value);
+
+  private:
+    struct Round
+    {
+        sim::Trigger trig;
+        double acc = 0;
+        bool first = true;
+    };
+
+    sim::Simulator &simulator;
+    int expected;
+    sim::Tick completionCost;
+    Op combine;
+    int count = 0;
+    std::shared_ptr<Round> current;
+};
+
+} // namespace howsim::net
+
+#endif // HOWSIM_NET_MSG_HH

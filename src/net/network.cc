@@ -1,0 +1,108 @@
+#include "net/network.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace howsim::net
+{
+
+Network::Network(sim::Simulator &s, int host_count, NetParams params)
+    : simulator(s), netParams(params)
+{
+    if (host_count <= 0)
+        panic("Network: host_count must be positive");
+    if (netParams.hostsPerSwitch <= 0)
+        panic("Network: hostsPerSwitch must be positive");
+
+    hosts.resize(static_cast<std::size_t>(host_count));
+    for (auto &h : hosts) {
+        bus::BusParams link;
+        link.name = "host-link";
+        link.channels = 1;
+        link.channelRate = netParams.hostLinkRate;
+        link.startup = 0; // latency handled per hop
+        h.tx = std::make_unique<bus::Bus>(s, link);
+        h.rx = std::make_unique<bus::Bus>(s, link);
+    }
+
+    int nedges = (host_count + netParams.hostsPerSwitch - 1)
+                 / netParams.hostsPerSwitch;
+    edges.resize(static_cast<std::size_t>(nedges));
+    for (auto &e : edges) {
+        bus::BusParams up;
+        up.name = "uplink";
+        up.channels = netParams.uplinksPerSwitch;
+        up.channelRate = netParams.uplinkRate;
+        up.startup = 0;
+        e.up = std::make_unique<bus::Bus>(s, up);
+        e.down = std::make_unique<bus::Bus>(s, up);
+    }
+}
+
+const HostTraffic &
+Network::traffic(int host) const
+{
+    return hosts[static_cast<std::size_t>(host)].traffic;
+}
+
+sim::Coro<void>
+Network::forwardFrame(int src, int dst, std::uint32_t bytes,
+                      bool cross_edge, int *arrived, int total,
+                      sim::Trigger *done)
+{
+    co_await sim::delay(netParams.hopLatency);
+    if (cross_edge) {
+        co_await edges[static_cast<std::size_t>(edgeOf(src))]
+            .up->transfer(bytes);
+        co_await sim::delay(netParams.hopLatency);
+        co_await edges[static_cast<std::size_t>(edgeOf(dst))]
+            .down->transfer(bytes);
+        co_await sim::delay(netParams.hopLatency);
+    }
+    co_await hosts[static_cast<std::size_t>(dst)].rx->transfer(bytes);
+    if (++*arrived == total)
+        done->fire();
+}
+
+sim::Coro<void>
+Network::transport(int src, int dst, std::uint64_t bytes)
+{
+    if (src < 0 || src >= hostCount() || dst < 0 || dst >= hostCount())
+        panic("transport: bad endpoints %d -> %d", src, dst);
+    if (src == dst) {
+        // Loopback: no fabric involvement.
+        co_return;
+    }
+    if (bytes == 0)
+        bytes = 1;
+
+    const bool cross_edge = edgeOf(src) != edgeOf(dst)
+                            && edges.size() > 1;
+    const std::uint32_t frame = netParams.frameBytes;
+    const int total = static_cast<int>((bytes + frame - 1) / frame);
+
+    // State shared with per-frame forwarders; lives in this frame,
+    // which stays alive until `done` fires.
+    int arrived = 0;
+    sim::Trigger done;
+
+    std::uint64_t remaining = bytes;
+    while (remaining > 0) {
+        std::uint32_t sz = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(remaining, frame));
+        co_await hosts[static_cast<std::size_t>(src)].tx->transfer(sz);
+        simulator.spawnDetached(
+            forwardFrame(src, dst, sz, cross_edge, &arrived, total,
+                         &done),
+            "frame");
+        remaining -= sz;
+    }
+    co_await done.wait();
+
+    hosts[static_cast<std::size_t>(src)].traffic.bytesSent += bytes;
+    hosts[static_cast<std::size_t>(dst)].traffic.bytesReceived += bytes;
+    movedBytes += bytes;
+}
+
+} // namespace howsim::net

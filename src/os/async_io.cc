@@ -1,0 +1,60 @@
+#include "os/async_io.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace howsim::os
+{
+
+AsyncQueue::AsyncQueue(sim::Simulator &s, int depth)
+    : simulator(s), slots(depth)
+{
+    if (depth <= 0)
+        panic("AsyncQueue depth must be positive");
+}
+
+sim::Coro<void>
+AsyncQueue::runOne(sim::Coro<void> op, bool preacquired)
+{
+    if (!preacquired)
+        co_await slots.acquire();
+    co_await op;
+    slots.release();
+    if (--active == 0)
+        idle.fire();
+}
+
+void
+AsyncQueue::post(sim::Coro<void> op)
+{
+    ++active;
+    ++postedCount;
+    if (idle.fired())
+        idle.reset();
+    simulator.spawnDetached(runOne(std::move(op), false), "aio");
+}
+
+sim::Coro<void>
+AsyncQueue::postBounded(sim::Coro<void> op)
+{
+    co_await slots.acquire();
+    ++active;
+    ++postedCount;
+    if (idle.fired())
+        idle.reset();
+    simulator.spawnDetached(runOne(std::move(op), true), "aio");
+}
+
+sim::Coro<void>
+AsyncQueue::drain()
+{
+    if (active == 0)
+        co_return;
+    if (idle.fired())
+        idle.reset();
+    while (active > 0)
+        co_await idle.wait();
+}
+
+} // namespace howsim::os

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Processor time model.
+ *
+ * Howsim replays user-level compute costs measured on a reference
+ * machine (a DEC Alpha 2100 4/275) and "models variation in processor
+ * speed by scaling these processing times". Cpu reproduces that: work
+ * is expressed in reference-machine ticks and stretched by the ratio
+ * of clock rates. The Cpu is a unit resource, so concurrent activities
+ * on one processor serialize.
+ */
+
+#ifndef HOWSIM_OS_CPU_HH
+#define HOWSIM_OS_CPU_HH
+
+#include <cstdint>
+
+#include "sim/awaitables.hh"
+#include "sim/coro.hh"
+#include "sim/resource.hh"
+#include "sim/ticks.hh"
+
+namespace howsim::os
+{
+
+/** The clock rate of the machine compute costs were measured on. */
+constexpr double referenceCpuMhz = 275.0;
+
+/** A single processor executing scaled reference-time work. */
+class Cpu
+{
+  public:
+    /**
+     * @param mhz         This processor's clock rate.
+     * @param ref_mhz     Clock rate the costs were measured at.
+     * @param switch_cost Context-switch charge applied when a
+     *                    compute request finds the CPU busy (two
+     *                    activities interleaving on one processor).
+     */
+    explicit Cpu(double mhz, double ref_mhz = referenceCpuMhz,
+                 sim::Tick switch_cost = 0)
+        : clockMhz(mhz), scale(ref_mhz / mhz),
+          switchCost(switch_cost), unit(1)
+    {
+    }
+
+    /** Convert reference-machine ticks to this processor's ticks. */
+    sim::Tick
+    scaled(sim::Tick ref_ticks) const
+    {
+        return static_cast<sim::Tick>(
+            static_cast<double>(ref_ticks) * scale);
+    }
+
+    /**
+     * Execute @p ref_ticks of reference-machine work, serializing
+     * with other work on this processor.
+     */
+    sim::Coro<void>
+    compute(sim::Tick ref_ticks)
+    {
+        sim::Tick t = scaled(ref_ticks);
+        bool contended = unit.available() == 0;
+        co_await unit.acquire();
+        if (contended && switchCost > 0) {
+            ++switches;
+            t += switchCost;
+        }
+        co_await sim::delay(t);
+        unit.release();
+        busy += t;
+    }
+
+    /**
+     * Copy @p bytes through this processor at @p ref_rate bytes per
+     * second of reference-machine time.
+     */
+    sim::Coro<void>
+    copyBytes(std::uint64_t bytes, double ref_rate)
+    {
+        co_await compute(sim::transferTicks(bytes, ref_rate));
+    }
+
+    double mhz() const { return clockMhz; }
+    sim::Tick busyTicks() const { return busy; }
+
+    /** Time work spent queued behind other work on this CPU. */
+    sim::Tick contendedTicks() const { return unit.totalWait(); }
+
+    /** Context switches charged (contended handoffs). */
+    std::uint64_t switchCount() const { return switches; }
+
+  private:
+    double clockMhz;
+    double scale;
+    sim::Tick switchCost;
+    sim::Resource unit;
+    sim::Tick busy = 0;
+    std::uint64_t switches = 0;
+};
+
+} // namespace howsim::os
+
+#endif // HOWSIM_OS_CPU_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Host operating-system cost parameters.
+ *
+ * Values follow the paper's calibration: read/write system calls and
+ * context switches measured with lmbench on a 300 MHz Pentium II
+ * running Linux (10 us and 103 us), a fixed 16 us charge to queue an
+ * I/O request at the device driver, and an interrupt-service charge
+ * per I/O completion.
+ */
+
+#ifndef HOWSIM_OS_OS_COSTS_HH
+#define HOWSIM_OS_OS_COSTS_HH
+
+#include "sim/ticks.hh"
+
+namespace howsim::os
+{
+
+/** Per-operation host OS costs. */
+struct OsCosts
+{
+    /** read()/write() system-call overhead. */
+    sim::Tick syscall = sim::microseconds(10);
+
+    /** Process context switch. */
+    sim::Tick contextSwitch = sim::microseconds(103);
+
+    /** Queue an I/O request in the device driver. */
+    sim::Tick ioQueue = sim::microseconds(16);
+
+    /** Service an I/O completion interrupt. */
+    sim::Tick interrupt = sim::microseconds(15);
+
+    /** The paper's measured host parameters (see file comment). */
+    static OsCosts
+    measuredPentiumII()
+    {
+        return OsCosts{};
+    }
+
+    /**
+     * A lean embedded executive (DiskOS): no general-purpose kernel,
+     * so per-operation costs are a fraction of a full OS's.
+     */
+    static OsCosts
+    diskOs()
+    {
+        OsCosts c;
+        c.syscall = sim::microseconds(2);
+        c.contextSwitch = sim::microseconds(10);
+        c.ioQueue = sim::microseconds(4);
+        c.interrupt = sim::microseconds(5);
+        return c;
+    }
+};
+
+} // namespace howsim::os
+
+#endif // HOWSIM_OS_OS_COSTS_HH

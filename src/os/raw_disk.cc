@@ -1,0 +1,57 @@
+#include "os/raw_disk.hh"
+
+#include "sim/awaitables.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+namespace howsim::os
+{
+
+RawDisk::RawDisk(disk::Disk &d, bus::Bus *attach, OsCosts costs)
+    : diskRef(d), attachBus(attach), osCosts(costs)
+{
+}
+
+sim::Coro<IoResult>
+RawDisk::read(std::uint64_t offset, std::uint64_t bytes)
+{
+    return io(offset, bytes, false);
+}
+
+sim::Coro<IoResult>
+RawDisk::write(std::uint64_t offset, std::uint64_t bytes)
+{
+    return io(offset, bytes, true);
+}
+
+sim::Coro<IoResult>
+RawDisk::io(std::uint64_t offset, std::uint64_t bytes, bool write)
+{
+    if (bytes == 0)
+        panic("RawDisk: zero-byte I/O");
+    sim::Tick start = sim::Simulator::current()->now();
+
+    // Issue path: system call plus device-driver queueing.
+    co_await sim::delay(osCosts.syscall + osCosts.ioQueue);
+
+    const std::uint32_t sector = diskRef.spec().sectorBytes;
+    std::uint64_t first = offset / sector;
+    std::uint64_t last = (offset + bytes + sector - 1) / sector;
+    disk::DiskRequest req;
+    req.lba = first;
+    req.sectors = static_cast<std::uint32_t>(last - first);
+    req.write = write;
+
+    IoResult result;
+    result.detail = co_await diskRef.access(req);
+
+    if (attachBus)
+        co_await attachBus->transfer(bytes);
+
+    // Completion interrupt.
+    co_await sim::delay(osCosts.interrupt);
+    result.totalTicks = sim::Simulator::current()->now() - start;
+    co_return result;
+}
+
+} // namespace howsim::os

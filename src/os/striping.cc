@@ -1,0 +1,68 @@
+#include "os/striping.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace howsim::os
+{
+
+StripedFile::StripedFile(sim::Simulator &s, std::vector<RawDisk *> disks,
+                         std::uint64_t disk_base, std::uint32_t chunk_sz)
+    : simulator(s), drives(std::move(disks)), base(disk_base),
+      chunk(chunk_sz)
+{
+    if (drives.empty())
+        panic("StripedFile over zero drives");
+    if (chunk == 0)
+        panic("StripedFile chunk must be positive");
+}
+
+std::pair<int, std::uint64_t>
+StripedFile::locateChunk(std::uint64_t index) const
+{
+    int disk_idx = static_cast<int>(index % drives.size());
+    std::uint64_t row = index / drives.size();
+    return {disk_idx, base + row * chunk};
+}
+
+sim::Coro<void>
+StripedFile::read(std::uint64_t offset, std::uint64_t bytes)
+{
+    return io(offset, bytes, false);
+}
+
+sim::Coro<void>
+StripedFile::write(std::uint64_t offset, std::uint64_t bytes)
+{
+    return io(offset, bytes, true);
+}
+
+sim::Coro<void>
+StripedFile::io(std::uint64_t offset, std::uint64_t bytes, bool write)
+{
+    // One in-flight window wide enough for every chunk of this call.
+    std::uint64_t first = offset / chunk;
+    std::uint64_t last = (offset + bytes + chunk - 1) / chunk;
+    AsyncQueue window(simulator,
+                      static_cast<int>(std::max<std::uint64_t>(
+                          last - first, 1)));
+    for (std::uint64_t c = first; c < last; ++c) {
+        auto [disk_idx, disk_off] = locateChunk(c);
+        std::uint64_t lo = std::max(offset, c * chunk);
+        std::uint64_t hi = std::min(offset + bytes, (c + 1) * chunk);
+        std::uint64_t in_chunk_off = lo - c * chunk;
+        RawDisk *d = drives[static_cast<std::size_t>(disk_idx)];
+        auto one = [](RawDisk *drive, std::uint64_t off,
+                      std::uint64_t len, bool w) -> sim::Coro<void> {
+            if (w)
+                co_await drive->write(off, len);
+            else
+                co_await drive->read(off, len);
+        };
+        window.post(one(d, disk_off + in_chunk_off, hi - lo, write));
+    }
+    co_await window.drain();
+}
+
+} // namespace howsim::os

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * User-controllable striping library (SMP I/O path).
+ *
+ * Files are striped over a set of drives in fixed-size chunks (the
+ * paper uses 64 KB per disk), so a 256 KB request moves a chunk from
+ * each of four consecutive drives in parallel — matching the SMP
+ * configuration's aggressive I/O subsystem usage.
+ */
+
+#ifndef HOWSIM_OS_STRIPING_HH
+#define HOWSIM_OS_STRIPING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "os/async_io.hh"
+#include "os/raw_disk.hh"
+#include "sim/coro.hh"
+
+namespace howsim::os
+{
+
+/** A logical file striped across many drives. */
+class StripedFile
+{
+  public:
+    /**
+     * @param disks      Access paths, one per drive.
+     * @param disk_base  Byte offset of this file's region on every
+     *                   drive (regions are aligned across drives).
+     * @param chunk      Stripe unit in bytes.
+     */
+    StripedFile(sim::Simulator &s, std::vector<RawDisk *> disks,
+                std::uint64_t disk_base,
+                std::uint32_t chunk = 64 * 1024);
+
+    /**
+     * Read @p bytes at logical @p offset: chunks fan out to their
+     * drives concurrently; completes when the last chunk arrives.
+     */
+    sim::Coro<void> read(std::uint64_t offset, std::uint64_t bytes);
+
+    /** Write counterpart of read(). */
+    sim::Coro<void> write(std::uint64_t offset, std::uint64_t bytes);
+
+    std::uint32_t chunkBytes() const { return chunk; }
+    int diskCount() const { return static_cast<int>(drives.size()); }
+
+    /** Drive + on-drive offset holding logical chunk @p index. */
+    std::pair<int, std::uint64_t> locateChunk(std::uint64_t index) const;
+
+  private:
+    sim::Coro<void> io(std::uint64_t offset, std::uint64_t bytes,
+                       bool write);
+
+    sim::Simulator &simulator;
+    std::vector<RawDisk *> drives;
+    std::uint64_t base;
+    std::uint32_t chunk;
+};
+
+} // namespace howsim::os
+
+#endif // HOWSIM_OS_STRIPING_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Basic kernel awaitables: delays, yields, and one-shot triggers.
+ */
+
+#ifndef HOWSIM_SIM_AWAITABLES_HH
+#define HOWSIM_SIM_AWAITABLES_HH
+
+#include <coroutine>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+#include "sim/ticks.hh"
+
+namespace howsim::sim
+{
+
+/** Awaitable that resumes the coroutine @p delay ticks later. */
+struct Delay
+{
+    Tick amount;
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        Simulator *s = Simulator::current();
+        if (!s)
+            panic("delay awaited outside a simulation");
+        s->scheduleIn(amount, [h] { h.resume(); });
+    }
+
+    void await_resume() const noexcept {}
+};
+
+/** Suspend the current coroutine for @p t ticks. */
+inline Delay
+delay(Tick t)
+{
+    return Delay{t};
+}
+
+/**
+ * Yield to the event queue: resume at the same tick, after all events
+ * already scheduled for this tick.
+ */
+inline Delay
+yield()
+{
+    return Delay{0};
+}
+
+/**
+ * One-shot condition variable. Coroutines wait() until some other
+ * party calls fire(); waiters queued after the trigger has fired do
+ * not block. reset() re-arms the trigger.
+ */
+class Trigger
+{
+  public:
+    /** Fire the trigger, waking all current waiters at this tick. */
+    void
+    fire()
+    {
+        if (firedFlag)
+            return;
+        firedFlag = true;
+        Simulator *s = Simulator::current();
+        if (!s)
+            panic("Trigger fired outside a simulation");
+        for (auto h : waiters)
+            s->scheduleAt(s->now(), [h] { h.resume(); });
+        waiters.clear();
+    }
+
+    /** True once fire() has been called (and not reset since). */
+    bool fired() const { return firedFlag; }
+
+    /** Re-arm the trigger. @pre no coroutine is currently waiting. */
+    void
+    reset()
+    {
+        if (!waiters.empty())
+            panic("Trigger::reset with coroutines still waiting");
+        firedFlag = false;
+    }
+
+    struct Wait
+    {
+        Trigger *trig;
+
+        bool await_ready() const noexcept { return trig->firedFlag; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            trig->waiters.push_back(h);
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    /** Awaitable that completes when the trigger fires. */
+    Wait wait() { return Wait{this}; }
+
+    /** Number of coroutines currently blocked on this trigger. */
+    std::size_t waiterCount() const { return waiters.size(); }
+
+  private:
+    bool firedFlag = false;
+    std::vector<std::coroutine_handle<>> waiters;
+};
+
+} // namespace howsim::sim
+
+#endif // HOWSIM_SIM_AWAITABLES_HH

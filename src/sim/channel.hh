@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Bounded, closeable message channel between simulated processes.
+ *
+ * Channel<T> implements the classic CSP-style bounded buffer with
+ * direct handoff: senders block when the buffer is full, receivers
+ * block when it is empty, and wakeups deliver values directly to the
+ * blocked party so no wakeup can be lost or stolen. All wakeups go
+ * through the event queue at the current tick, never by direct
+ * recursive resumption.
+ *
+ * A channel must outlive every coroutine that is blocked on it;
+ * blocked operations unlink themselves if their coroutine frame is
+ * destroyed first.
+ */
+
+#ifndef HOWSIM_SIM_CHANNEL_HH
+#define HOWSIM_SIM_CHANNEL_HH
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+namespace howsim::sim
+{
+
+/** Thrown when sending on a channel that has been closed. */
+class ChannelClosed : public std::runtime_error
+{
+  public:
+    ChannelClosed() : std::runtime_error("send on closed channel") {}
+};
+
+template <typename T>
+class Channel
+{
+  public:
+    /**
+     * @param capacity Buffered element count; 0 gives rendezvous
+     *                 semantics (a send completes only when a
+     *                 receiver takes the value).
+     */
+    explicit Channel(std::size_t capacity
+                     = std::numeric_limits<std::size_t>::max())
+        : cap(capacity)
+    {}
+
+    Channel(const Channel &) = delete;
+    Channel &operator=(const Channel &) = delete;
+
+    /**
+     * A channel may be destroyed while coroutines are still blocked
+     * on it (simulation teardown): detach the pending operations so
+     * their later frame destruction does not touch this object.
+     */
+    ~Channel()
+    {
+        for (SendOp *op : sendWaiters)
+            op->enqueued = false;
+        for (RecvOp *op : recvWaiters)
+            op->enqueued = false;
+    }
+
+    class SendOp;
+    class RecvOp;
+
+    /** Awaitable send; throws ChannelClosed if the channel closes. */
+    SendOp send(T value) { return SendOp(this, std::move(value)); }
+
+    /**
+     * Awaitable receive; yields std::nullopt once the channel is
+     * closed and drained.
+     */
+    RecvOp recv() { return RecvOp(this); }
+
+    /**
+     * Close the channel: pending and future receivers see nullopt
+     * after the buffer drains; pending and future sends fail.
+     */
+    void
+    close()
+    {
+        if (closedFlag)
+            return;
+        closedFlag = true;
+        // Detach (enqueued = false) as well as wake: if the
+        // simulation is torn down before the wakeups run, the ops'
+        // destructors must not reach back into this channel.
+        for (RecvOp *op : recvWaiters) {
+            op->enqueued = false;
+            wake(op->waiting);
+        }
+        recvWaiters.clear();
+        for (SendOp *op : sendWaiters) {
+            op->enqueued = false;
+            op->failedClosed = true;
+            wake(op->waiting);
+        }
+        sendWaiters.clear();
+    }
+
+    bool closed() const { return closedFlag; }
+
+    /** Elements currently buffered. */
+    std::size_t size() const { return buf.size(); }
+
+    std::size_t capacity() const { return cap; }
+
+    /** Number of blocked senders (for tests/stats). */
+    std::size_t blockedSenders() const { return sendWaiters.size(); }
+
+    /** Number of blocked receivers (for tests/stats). */
+    std::size_t blockedReceivers() const { return recvWaiters.size(); }
+
+    /** Awaitable send operation. */
+    class SendOp
+    {
+      public:
+        SendOp(Channel *c, T v) : ch(c), value(std::move(v)) {}
+
+        SendOp(const SendOp &) = delete;
+        SendOp &operator=(const SendOp &) = delete;
+        SendOp(SendOp &&) = delete;
+
+        ~SendOp()
+        {
+            if (enqueued && !completed && !failedClosed)
+                ch->unlinkSender(this);
+        }
+
+        bool
+        await_ready()
+        {
+            if (ch->closedFlag) {
+                failedClosed = true;
+                return true;
+            }
+            // Direct handoff to a blocked receiver.
+            if (!ch->recvWaiters.empty() && ch->buf.empty()) {
+                RecvOp *r = ch->recvWaiters.front();
+                ch->recvWaiters.pop_front();
+                r->result = std::move(value);
+                ch->wake(r->waiting);
+                completed = true;
+                return true;
+            }
+            if (ch->buf.size() < ch->cap) {
+                ch->buf.push_back(std::move(value));
+                completed = true;
+                return true;
+            }
+            return false;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            waiting = h;
+            enqueued = true;
+            ch->sendWaiters.push_back(this);
+        }
+
+        void
+        await_resume()
+        {
+            completed = true;
+            if (failedClosed)
+                throw ChannelClosed();
+        }
+
+      private:
+        friend class Channel;
+
+        Channel *ch;
+        T value;
+        std::coroutine_handle<> waiting;
+        bool enqueued = false;
+        bool completed = false;
+        bool failedClosed = false;
+    };
+
+    /** Awaitable receive operation. */
+    class RecvOp
+    {
+      public:
+        explicit RecvOp(Channel *c) : ch(c) {}
+
+        RecvOp(const RecvOp &) = delete;
+        RecvOp &operator=(const RecvOp &) = delete;
+        RecvOp(RecvOp &&) = delete;
+
+        ~RecvOp()
+        {
+            if (enqueued && !completed)
+                ch->unlinkReceiver(this);
+        }
+
+        bool
+        await_ready()
+        {
+            if (!ch->buf.empty()) {
+                result = std::move(ch->buf.front());
+                ch->buf.pop_front();
+                ch->refillFromSender();
+                completed = true;
+                return true;
+            }
+            if (!ch->sendWaiters.empty()) {
+                // Rendezvous: take directly from a blocked sender.
+                SendOp *s = ch->sendWaiters.front();
+                ch->sendWaiters.pop_front();
+                result = std::move(s->value);
+                s->completed = true;
+                ch->wake(s->waiting);
+                completed = true;
+                return true;
+            }
+            if (ch->closedFlag) {
+                completed = true;
+                return true;
+            }
+            return false;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            waiting = h;
+            enqueued = true;
+            ch->recvWaiters.push_back(this);
+        }
+
+        std::optional<T>
+        await_resume()
+        {
+            completed = true;
+            return std::move(result);
+        }
+
+      private:
+        friend class Channel;
+
+        Channel *ch;
+        std::optional<T> result;
+        std::coroutine_handle<> waiting;
+        bool enqueued = false;
+        bool completed = false;
+    };
+
+  private:
+    friend class SendOp;
+    friend class RecvOp;
+
+    void
+    wake(std::coroutine_handle<> h)
+    {
+        Simulator *s = Simulator::current();
+        if (!s)
+            panic("channel operation outside a simulation");
+        s->scheduleAt(s->now(), [h] { h.resume(); });
+    }
+
+    /** After freeing a buffer slot, admit one blocked sender. */
+    void
+    refillFromSender()
+    {
+        if (sendWaiters.empty() || buf.size() >= cap)
+            return;
+        SendOp *s = sendWaiters.front();
+        sendWaiters.pop_front();
+        buf.push_back(std::move(s->value));
+        s->completed = true;
+        wake(s->waiting);
+    }
+
+    void
+    unlinkSender(SendOp *op)
+    {
+        std::erase(sendWaiters, op);
+    }
+
+    void
+    unlinkReceiver(RecvOp *op)
+    {
+        std::erase(recvWaiters, op);
+    }
+
+    std::size_t cap;
+    bool closedFlag = false;
+    std::deque<T> buf;
+    std::deque<SendOp *> sendWaiters;
+    std::deque<RecvOp *> recvWaiters;
+};
+
+} // namespace howsim::sim
+
+#endif // HOWSIM_SIM_CHANNEL_HH

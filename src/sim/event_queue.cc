@@ -1,0 +1,24 @@
+#include "sim/event_queue.hh"
+
+#include <memory>
+#include <utility>
+
+namespace howsim::sim
+{
+
+void
+EventQueue::schedule(Tick when, Action action)
+{
+    heap.push(Entry{when, nextSeq++,
+                    std::make_shared<Action>(std::move(action))});
+}
+
+EventQueue::Action
+EventQueue::pop()
+{
+    Entry top = heap.top();
+    heap.pop();
+    return std::move(*top.action);
+}
+
+} // namespace howsim::sim

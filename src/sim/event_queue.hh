@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The discrete-event queue at the heart of the simulator.
+ *
+ * Events are (tick, sequence, action) triples kept in a binary heap.
+ * The sequence number breaks ties so that events scheduled for the
+ * same tick execute in scheduling order, which keeps simulations
+ * deterministic.
+ */
+
+#ifndef HOWSIM_SIM_EVENT_QUEUE_HH
+#define HOWSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace howsim::sim
+{
+
+/** Deterministic priority queue of timed actions. */
+class EventQueue
+{
+  public:
+    using Action = std::function<void()>;
+
+    /** Schedule @p action to run at absolute time @p when. */
+    void schedule(Tick when, Action action);
+
+    /** True when no events remain. */
+    bool empty() const { return heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap.size(); }
+
+    /** Time of the earliest pending event. @pre !empty(). */
+    Tick nextTick() const { return heap.top().when; }
+
+    /**
+     * Remove and return the earliest pending action.
+     * @pre !empty().
+     */
+    Action pop();
+
+    /** Total number of events ever scheduled (for stats/tests). */
+    std::uint64_t scheduledCount() const { return nextSeq; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        // Shared so Entry stays copyable inside std::priority_queue;
+        // the action itself is never copied.
+        std::shared_ptr<Action> action;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    std::uint64_t nextSeq = 0;
+};
+
+} // namespace howsim::sim
+
+#endif // HOWSIM_SIM_EVENT_QUEUE_HH

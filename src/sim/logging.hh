@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Error and status reporting helpers.
+ *
+ * Follows the gem5 convention: panic() flags an internal simulator bug
+ * and aborts; fatal() flags a user/configuration error and exits
+ * cleanly; warn()/inform() report status without stopping.
+ */
+
+#ifndef HOWSIM_SIM_LOGGING_HH
+#define HOWSIM_SIM_LOGGING_HH
+
+#include <string>
+
+namespace howsim
+{
+
+/** Printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal simulator bug and abort. Call when something
+ * happens that should never happen regardless of user input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1). Call
+ * when the simulation cannot continue due to the user's input.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious condition the simulation can survive. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Suppress warn()/inform() output (used by tests). */
+void setQuiet(bool quiet);
+
+} // namespace howsim
+
+#endif // HOWSIM_SIM_LOGGING_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload models.
+ *
+ * Uses a xoshiro256** core so simulations are reproducible across
+ * platforms and standard-library versions (std::mt19937 distributions
+ * are not portable across implementations).
+ */
+
+#ifndef HOWSIM_SIM_RANDOM_HH
+#define HOWSIM_SIM_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace howsim::sim
+{
+
+/** Reproducible xoshiro256** PRNG with convenience distributions. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi]. @pre lo <= hi. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p);
+
+    /** Exponentially distributed value with the given mean. */
+    double exponential(double mean);
+
+    /**
+     * Zipf-distributed rank in [0, n) with skew parameter @p theta
+     * (theta = 0 is uniform). Uses inverse-CDF over a precomputed
+     * table; suitable for n up to a few million.
+     */
+    class Zipf
+    {
+      public:
+        Zipf(std::uint64_t n, double theta);
+        std::uint64_t draw(Rng &rng) const;
+        std::uint64_t size() const { return cdf.size(); }
+
+      private:
+        std::vector<double> cdf;
+    };
+
+  private:
+    std::uint64_t s[4];
+};
+
+} // namespace howsim::sim
+
+#endif // HOWSIM_SIM_RANDOM_HH

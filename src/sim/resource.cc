@@ -1,0 +1,112 @@
+#include "sim/resource.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace howsim::sim
+{
+
+Resource::Resource(std::int64_t capacity) : cap(capacity), avail(capacity)
+{
+    if (capacity <= 0)
+        panic("Resource capacity must be positive");
+}
+
+Resource::~Resource()
+{
+    for (AcquireOp *op : waiters)
+        op->enqueued = false;
+}
+
+Resource::AcquireOp
+Resource::acquire(std::int64_t n)
+{
+    return AcquireOp(this, n);
+}
+
+void
+Resource::noteAcquire(std::int64_t n)
+{
+    Simulator *s = Simulator::current();
+    Tick now = s ? s->now() : 0;
+    busyUnitTicks += static_cast<std::uint64_t>(cap - avail)
+                     * (now - lastChange);
+    lastChange = now;
+    avail -= n;
+}
+
+void
+Resource::release(std::int64_t n)
+{
+    Simulator *s = Simulator::current();
+    Tick now = s ? s->now() : 0;
+    busyUnitTicks += static_cast<std::uint64_t>(cap - avail)
+                     * (now - lastChange);
+    lastChange = now;
+    avail += n;
+    if (avail > cap)
+        panic("Resource over-release: avail %lld > cap %lld",
+              static_cast<long long>(avail), static_cast<long long>(cap));
+    grantWaiters();
+}
+
+void
+Resource::grantWaiters()
+{
+    Simulator *s = Simulator::current();
+    while (!waiters.empty() && waiters.front()->n <= avail) {
+        AcquireOp *op = waiters.front();
+        waiters.pop_front();
+        noteAcquire(op->n);
+        op->granted = true;
+        if (s) {
+            waitTicks += s->now() - op->enqueueTick;
+            auto h = op->waiting;
+            s->scheduleAt(s->now(), [h] { h.resume(); });
+        }
+    }
+}
+
+Resource::AcquireOp::AcquireOp(Resource *r, std::int64_t amount)
+    : res(r), n(amount)
+{
+    if (n <= 0 || n > res->cap)
+        panic("Resource acquire of %lld units (capacity %lld)",
+              static_cast<long long>(n),
+              static_cast<long long>(res->cap));
+}
+
+Resource::AcquireOp::~AcquireOp()
+{
+    if (enqueued && !granted)
+        std::erase(res->waiters, this);
+}
+
+bool
+Resource::AcquireOp::await_ready()
+{
+    if (res->waiters.empty() && res->avail >= n) {
+        res->noteAcquire(n);
+        granted = true;
+        return true;
+    }
+    return false;
+}
+
+void
+Resource::AcquireOp::await_suspend(std::coroutine_handle<> h)
+{
+    waiting = h;
+    enqueued = true;
+    Simulator *s = Simulator::current();
+    enqueueTick = s ? s->now() : 0;
+    res->waiters.push_back(this);
+}
+
+void
+Resource::AcquireOp::await_resume()
+{
+}
+
+} // namespace howsim::sim

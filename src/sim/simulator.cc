@@ -1,0 +1,153 @@
+#include "sim/simulator.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace howsim::sim
+{
+
+namespace
+{
+
+thread_local Simulator *currentSim = nullptr;
+
+} // namespace
+
+Simulator::Simulator()
+{
+    previous = currentSim;
+    currentSim = this;
+}
+
+Simulator::~Simulator()
+{
+    // Destroy processes before restoring the current-simulator
+    // pointer: process frames may hold awaiter objects whose
+    // destructors unlink themselves from channels/resources.
+    processes.clear();
+    currentSim = previous;
+}
+
+Simulator *
+Simulator::current()
+{
+    return currentSim;
+}
+
+void
+Simulator::scheduleAt(Tick when, EventQueue::Action action)
+{
+    if (when < currentTick)
+        panic("scheduleAt: tick %llu is in the past (now %llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(currentTick));
+    queue.schedule(when, std::move(action));
+}
+
+void
+Simulator::scheduleIn(Tick delay, EventQueue::Action action)
+{
+    queue.schedule(currentTick + delay, std::move(action));
+}
+
+ProcessRef
+Simulator::spawn(Coro<void> body, std::string name)
+{
+    return spawnImpl(std::move(body), std::move(name), false);
+}
+
+ProcessRef
+Simulator::spawnDetached(Coro<void> body, std::string name)
+{
+    return spawnImpl(std::move(body), std::move(name), true);
+}
+
+ProcessRef
+Simulator::spawnImpl(Coro<void> body, std::string name, bool detached)
+{
+    if (!body.valid())
+        panic("spawn of an empty Coro");
+    auto proc = std::shared_ptr<Process>(
+        new Process(*this, std::move(body), std::move(name)));
+    proc->detached = detached;
+    processes.emplace(proc.get(), proc);
+    Process *raw = proc.get();
+    raw->body.promise().onDone = [raw] { raw->onComplete(); };
+    // Start the body at the current tick, after already-queued events.
+    scheduleAt(currentTick, [raw] { raw->body.resume(); });
+    return proc;
+}
+
+void
+Simulator::reap(Process *proc)
+{
+    auto it = processes.find(proc);
+    if (it == processes.end())
+        return;
+    if (proc->error && !proc->errorObserved) {
+        proc->errorObserved = true;
+        detachedErrors.push_back(proc->error);
+    }
+    processes.erase(it);
+}
+
+Tick
+Simulator::run(Tick until)
+{
+    Simulator *outer = currentSim;
+    currentSim = this;
+    while (!queue.empty() && queue.nextTick() <= until) {
+        currentTick = queue.nextTick();
+        auto action = queue.pop();
+        ++executed;
+        action();
+    }
+    if (until != maxTick && until > currentTick)
+        currentTick = until;
+    currentSim = outer;
+    if (!detachedErrors.empty()) {
+        auto err = detachedErrors.front();
+        detachedErrors.clear();
+        std::rethrow_exception(err);
+    }
+    for (const auto &[raw, proc] : processes) {
+        if (proc->error && !proc->errorObserved) {
+            proc->errorObserved = true;
+            std::rethrow_exception(proc->error);
+        }
+    }
+    return currentTick;
+}
+
+Process::Process(Simulator &s, Coro<void> b, std::string n)
+    : owner(s), body(std::move(b)), procName(std::move(n))
+{
+}
+
+Process::~Process() = default;
+
+void
+Process::onComplete()
+{
+    doneFlag = true;
+    error = body.promise().exception;
+    for (auto h : joiners)
+        owner.scheduleAt(owner.now(), [h] { h.resume(); });
+    joiners.clear();
+    if (detached) {
+        // Reclaim after the current resume() unwinds; any holder of
+        // the ProcessRef keeps the handle (not the frame) alive.
+        Process *self = this;
+        owner.scheduleAt(owner.now(), [self] { self->owner.reap(self); });
+    }
+}
+
+Coro<void>
+joinAll(std::vector<ProcessRef> procs)
+{
+    for (auto &p : procs)
+        co_await p->join();
+}
+
+} // namespace howsim::sim

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Lightweight statistics containers used across the simulator.
+ */
+
+#ifndef HOWSIM_SIM_STATS_HH
+#define HOWSIM_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace howsim::sim
+{
+
+/**
+ * Named accumulation buckets, used for execution-time breakdowns
+ * (e.g. the per-phase decomposition of Figure 3) and byte counters.
+ */
+class Breakdown
+{
+  public:
+    /** Add @p amount to bucket @p name (created on first use). */
+    void
+    add(const std::string &name, double amount)
+    {
+        buckets[name] += amount;
+    }
+
+    /** Value of bucket @p name; 0 when absent. */
+    double
+    get(const std::string &name) const
+    {
+        auto it = buckets.find(name);
+        return it == buckets.end() ? 0.0 : it->second;
+    }
+
+    /** Sum over all buckets. */
+    double
+    total() const
+    {
+        double sum = 0.0;
+        for (const auto &[name, v] : buckets)
+            sum += v;
+        return sum;
+    }
+
+    /** Merge @p other into this breakdown. */
+    void
+    merge(const Breakdown &other)
+    {
+        for (const auto &[name, v] : other.buckets)
+            buckets[name] += v;
+    }
+
+    const std::map<std::string, double> &all() const { return buckets; }
+
+    void clear() { buckets.clear(); }
+
+  private:
+    std::map<std::string, double> buckets;
+};
+
+/**
+ * Tracks busy intervals of a simulated component so idle time can be
+ * reported. Busy time accumulates via markBusy(); idle time is
+ * whatever remains of the observation window.
+ */
+class BusyTracker
+{
+  public:
+    /** Record @p amount ticks of busy time. */
+    void markBusy(Tick amount) { busy += amount; }
+
+    Tick busyTicks() const { return busy; }
+
+    /** Idle ticks within an observation window of @p elapsed. */
+    Tick
+    idleTicks(Tick elapsed) const
+    {
+        return elapsed > busy ? elapsed - busy : 0;
+    }
+
+  private:
+    Tick busy = 0;
+};
+
+/** Min/max/mean accumulator. */
+class Summary
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (n == 0 || v < lo)
+            lo = v;
+        if (n == 0 || v > hi)
+            hi = v;
+        sum += v;
+        ++n;
+    }
+
+    std::uint64_t count() const { return n; }
+    double min() const { return lo; }
+    double max() const { return hi; }
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+
+  private:
+    std::uint64_t n = 0;
+    double lo = 0.0;
+    double hi = 0.0;
+    double sum = 0.0;
+};
+
+} // namespace howsim::sim
+
+#endif // HOWSIM_SIM_STATS_HH

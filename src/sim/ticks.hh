@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Simulated time representation.
+ *
+ * Howsim measures simulated time in integer nanoseconds ("ticks").
+ * Integer time keeps event ordering exact and reproducible across
+ * platforms; one nanosecond of resolution is far finer than any latency
+ * modeled by the simulator (the smallest modeled costs are tenths of
+ * microseconds).
+ */
+
+#ifndef HOWSIM_SIM_TICKS_HH
+#define HOWSIM_SIM_TICKS_HH
+
+#include <cstdint>
+
+namespace howsim::sim
+{
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** A signed tick difference. */
+using TickDelta = std::int64_t;
+
+/** The largest representable tick; used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+constexpr Tick
+nanoseconds(std::uint64_t n)
+{
+    return n;
+}
+
+constexpr Tick
+microseconds(std::uint64_t n)
+{
+    return n * 1000;
+}
+
+constexpr Tick
+milliseconds(std::uint64_t n)
+{
+    return n * 1000 * 1000;
+}
+
+constexpr Tick
+seconds(std::uint64_t n)
+{
+    return n * 1000 * 1000 * 1000;
+}
+
+/**
+ * Convert a floating-point duration in seconds to ticks, rounding to
+ * the nearest tick. Negative durations clamp to zero.
+ */
+constexpr Tick
+fromSeconds(double s)
+{
+    if (s <= 0.0)
+        return 0;
+    return static_cast<Tick>(s * 1e9 + 0.5);
+}
+
+/** Convert ticks to floating-point seconds. */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-9;
+}
+
+/** Convert ticks to floating-point milliseconds. */
+constexpr double
+toMilliseconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-6;
+}
+
+/** Convert ticks to floating-point microseconds. */
+constexpr double
+toMicroseconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-3;
+}
+
+/**
+ * Ticks needed to move @p bytes through a pipe of @p bytes_per_second,
+ * rounded up so a transfer never takes zero time.
+ */
+constexpr Tick
+transferTicks(std::uint64_t bytes, double bytes_per_second)
+{
+    if (bytes == 0)
+        return 0;
+    double t = static_cast<double>(bytes) / bytes_per_second * 1e9;
+    Tick ticks = static_cast<Tick>(t);
+    return ticks > 0 ? ticks : 1;
+}
+
+} // namespace howsim::sim
+
+#endif // HOWSIM_SIM_TICKS_HH

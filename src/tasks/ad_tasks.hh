@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Active Disk implementations of the eight decision support tasks.
+ *
+ * Each task runs as a set of disklet pipelines, one per drive, plus
+ * a front-end consumer: a stream disklet reads the local partition,
+ * a processing disklet computes on the embedded CPU, and reduced or
+ * repartitioned data flows over the serial interconnect (directly
+ * disk-to-disk, or through the front-end in the restricted
+ * architecture). The structure mirrors the coarse-grain dataflow
+ * programming model of DiskOS.
+ */
+
+#ifndef HOWSIM_TASKS_AD_TASKS_HH
+#define HOWSIM_TASKS_AD_TASKS_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "diskos/active_disk_array.hh"
+#include "sim/simulator.hh"
+#include "tasks/task_result.hh"
+#include "workload/cost_model.hh"
+#include "workload/dataset.hh"
+
+namespace howsim::tasks
+{
+
+/** Runs the workload suite on an Active Disk machine. */
+class AdTaskRunner
+{
+  public:
+    AdTaskRunner(sim::Simulator &s, diskos::ActiveDiskArray &machine,
+                 workload::CostModel costs
+                     = workload::CostModel::calibrated());
+
+    /**
+     * Execute @p kind over @p data. Spawns the disklets, runs the
+     * simulation to completion, and reports timing. Must be called
+     * on a freshly constructed Simulator/machine pair.
+     */
+    TaskResult run(workload::TaskKind kind,
+                   const workload::DatasetSpec &data);
+
+  private:
+    using BlockFn = std::function<sim::Coro<void>(std::uint64_t)>;
+
+    /** @name Plumbing */
+    /** @{ */
+    sim::Coro<void> ioProducer(int d, std::uint64_t base,
+                               std::uint64_t bytes,
+                               sim::Channel<std::uint64_t> *ch);
+    sim::Coro<void> streamLocal(int d, std::uint64_t base,
+                                std::uint64_t bytes, BlockFn consume);
+    sim::Coro<void> emitToFrontend(int d, std::uint64_t bytes,
+                                   std::uint64_t *pending,
+                                   bool flush);
+    sim::Coro<void> sendDoneMarker(int d);
+    sim::Coro<void> frontendConsumer(sim::Tick per_byte_merge_ref);
+    /** @} */
+
+    /** @name Per-disk task workers */
+    /** @{ */
+    sim::Coro<void> scanWorker(int d, const workload::DatasetSpec &data,
+                               workload::TaskKind kind);
+    sim::Coro<void> sortPartitionWorker(int d,
+                                        const workload::DatasetSpec &d2);
+    sim::Coro<void> sortCollector(int d,
+                                  const workload::DatasetSpec &data);
+    sim::Coro<void> sortMergeWorker(int d,
+                                    const workload::DatasetSpec &data);
+    sim::Coro<void> joinWorker(int d, const workload::DatasetSpec &data);
+    sim::Coro<void> shuffleCollector(int d, std::uint64_t expected,
+                                     std::uint64_t write_base,
+                                     sim::Tick per_tuple_ref,
+                                     std::uint32_t tuple_bytes,
+                                     const char *cpu_bucket);
+    sim::Coro<void> dcubeWorker(int d,
+                                const workload::DatasetSpec &data);
+    sim::Coro<void> dmineWorker(int d,
+                                const workload::DatasetSpec &data);
+    sim::Coro<void> mviewWorker(int d,
+                                const workload::DatasetSpec &data);
+    sim::Coro<void> sortCoordinator(const workload::DatasetSpec &data);
+    sim::Coro<void> dmineFrontend(const workload::DatasetSpec &data);
+    /** @} */
+
+    sim::Coro<void> computeIn(int d, const char *bucket,
+                              sim::Tick ref_ticks);
+
+    int size() const { return machine.size(); }
+
+    sim::Simulator &simulator;
+    diskos::ActiveDiskArray &machine;
+    workload::CostModel cm;
+    TaskResult result;
+    int doneMarkers = 0;
+    std::uint64_t shuffleRoundRobin = 0;
+};
+
+} // namespace howsim::tasks
+
+#endif // HOWSIM_TASKS_AD_TASKS_HH

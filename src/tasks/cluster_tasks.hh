@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Commodity-cluster implementations of the eight decision support
+ * tasks.
+ *
+ * Each node runs a worker process on its own CPU, reads its local
+ * partition through the OS and PCI bus, and exchanges repartitioned
+ * data with peers through the MPI-like message layer (asynchronous
+ * sends, any-source receives), exactly as the paper tunes its
+ * cluster codes: large (256 KB) I/O requests, deep request queues,
+ * and order-independent processing. Results flow to the front-end
+ * host over its single 100 Mb/s link.
+ */
+
+#ifndef HOWSIM_TASKS_CLUSTER_TASKS_HH
+#define HOWSIM_TASKS_CLUSTER_TASKS_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "arch/cluster_machine.hh"
+#include "sim/simulator.hh"
+#include "tasks/task_result.hh"
+#include "workload/cost_model.hh"
+#include "workload/dataset.hh"
+
+namespace howsim::tasks
+{
+
+/** Runs the workload suite on a commodity cluster. */
+class ClusterTaskRunner
+{
+  public:
+    ClusterTaskRunner(sim::Simulator &s, arch::ClusterMachine &machine,
+                      workload::CostModel costs
+                          = workload::CostModel::calibrated());
+
+    /** Execute @p kind over @p data (fresh Simulator per call). */
+    TaskResult run(workload::TaskKind kind,
+                   const workload::DatasetSpec &data);
+
+  private:
+    using BlockFn = std::function<sim::Coro<void>(std::uint64_t)>;
+
+    sim::Coro<void> ioProducer(int node, std::uint64_t base,
+                               std::uint64_t bytes,
+                               sim::Channel<std::uint64_t> *ch);
+    sim::Coro<void> streamLocal(int node, std::uint64_t base,
+                                std::uint64_t bytes, BlockFn consume);
+    sim::Coro<void> emitToFrontend(int node, std::uint64_t bytes,
+                                   std::uint64_t *pending, bool flush);
+    sim::Coro<void> sendDone(int node, int dst, int tag);
+    sim::Coro<void> broadcastDone(int node, int tag);
+    sim::Coro<void> frontendConsumer(sim::Tick per_byte_merge_ref);
+    sim::Coro<void> shuffleBlock(int node, int *next_dst, int tag);
+
+    sim::Coro<void> scanWorker(int node,
+                               const workload::DatasetSpec &data,
+                               workload::TaskKind kind);
+    sim::Coro<void> sortPartitionWorker(int node,
+                                        const workload::DatasetSpec &d);
+    sim::Coro<void> sortCollector(int node,
+                                  const workload::DatasetSpec &data);
+    sim::Coro<void> sortMergeWorker(int node,
+                                    const workload::DatasetSpec &data);
+    sim::Coro<void> joinWorker(int node,
+                               const workload::DatasetSpec &data);
+    sim::Coro<void> shuffleCollector(int node, int tag,
+                                     std::uint64_t write_base,
+                                     sim::Tick per_tuple_ref,
+                                     std::uint32_t tuple_bytes,
+                                     const char *cpu_bucket);
+    sim::Coro<void> dcubeWorker(int node,
+                                const workload::DatasetSpec &data);
+    sim::Coro<void> dmineWorker(int node,
+                                const workload::DatasetSpec &data);
+    sim::Coro<void> reduceToFrontend(int node, std::uint64_t bytes,
+                                     int tag);
+    sim::Coro<void> broadcastFromFrontend(int node,
+                                          std::uint64_t bytes);
+    sim::Coro<void> mviewWorker(int node,
+                                const workload::DatasetSpec &data);
+    sim::Coro<void> sortCoordinator(const workload::DatasetSpec &data);
+    sim::Coro<void> dmineFrontend(const workload::DatasetSpec &data);
+
+    sim::Coro<void> computeIn(int node, const char *bucket,
+                              sim::Tick ref_ticks);
+
+    int size() const { return machine.size(); }
+
+    sim::Simulator &simulator;
+    arch::ClusterMachine &machine;
+    workload::CostModel cm;
+    TaskResult result;
+    int doneMarkers = 0;
+};
+
+} // namespace howsim::tasks
+
+#endif // HOWSIM_TASKS_CLUSTER_TASKS_HH

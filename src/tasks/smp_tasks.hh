@@ -1,0 +1,76 @@
+/**
+ * @file
+ * SMP implementations of the eight decision support tasks.
+ *
+ * Per the paper's SMP tuning: files are striped over all drives in
+ * 64 KB chunks; processors claim fixed-size blocks off shared
+ * (spinlock-protected) queues in disk order rather than partitioning
+ * the input a priori, which keeps requests roughly sequential at the
+ * drives; sort and join split the farm into separate read and write
+ * disk groups; data movement between processors uses one-way block
+ * transfers over the scalable memory fabric. Every byte read from or
+ * written to disk crosses the single shared Fibre Channel
+ * interconnect — the property that makes it the bottleneck.
+ */
+
+#ifndef HOWSIM_TASKS_SMP_TASKS_HH
+#define HOWSIM_TASKS_SMP_TASKS_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "smp/smp_machine.hh"
+#include "sim/simulator.hh"
+#include "tasks/task_result.hh"
+#include "workload/cost_model.hh"
+#include "workload/dataset.hh"
+
+namespace howsim::tasks
+{
+
+/** Runs the workload suite on an SMP machine. */
+class SmpTaskRunner
+{
+  public:
+    SmpTaskRunner(sim::Simulator &s, smp::SmpMachine &machine,
+                  workload::CostModel costs
+                      = workload::CostModel::calibrated());
+
+    /** Execute @p kind over @p data (fresh Simulator per call). */
+    TaskResult run(workload::TaskKind kind,
+                   const workload::DatasetSpec &data);
+
+  private:
+    /** Shared block queues created per run; workers index into it. */
+    using Queues
+        = std::vector<std::unique_ptr<smp::SmpMachine::SharedQueue>>;
+
+    sim::Coro<void> computeIn(int p, const char *bucket,
+                              sim::Tick ref_ticks);
+
+    sim::Coro<void> scanWorker(int p, Queues *qs,
+                               const workload::DatasetSpec &data,
+                               workload::TaskKind kind);
+    sim::Coro<void> sortWorker(int p, Queues *qs,
+                               const workload::DatasetSpec &data);
+    sim::Coro<void> joinWorker(int p, Queues *qs,
+                               const workload::DatasetSpec &data);
+    sim::Coro<void> dcubeWorker(int p, Queues *qs,
+                                const workload::DatasetSpec &data);
+    sim::Coro<void> dmineWorker(int p, Queues *qs,
+                                const workload::DatasetSpec &data);
+    sim::Coro<void> mviewWorker(int p, Queues *qs,
+                                const workload::DatasetSpec &data);
+
+    int cpus() const { return machine.cpuCount(); }
+
+    sim::Simulator &simulator;
+    smp::SmpMachine &machine;
+    workload::CostModel cm;
+    TaskResult result;
+};
+
+} // namespace howsim::tasks
+
+#endif // HOWSIM_TASKS_SMP_TASKS_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Result of running one decision support task on one machine.
+ */
+
+#ifndef HOWSIM_TASKS_TASK_RESULT_HH
+#define HOWSIM_TASKS_TASK_RESULT_HH
+
+#include <cstdint>
+
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+namespace howsim::tasks
+{
+
+/** Timing and accounting for one task execution. */
+struct TaskResult
+{
+    /** End-to-end simulated execution time. */
+    sim::Tick elapsedTicks = 0;
+
+    /**
+     * Named accounting buckets in seconds. Phase elapsed times use
+     * "<phase>.elapsed"; per-phase aggregate CPU busy time across
+     * devices uses "<phase>.<activity>" (e.g. "p1.partitioner"), as
+     * needed for the paper's Figure 3 breakdown.
+     */
+    sim::Breakdown buckets;
+
+    /** Bytes moved over the machine's shared interconnect. */
+    std::uint64_t interconnectBytes = 0;
+
+    double seconds() const { return sim::toSeconds(elapsedTicks); }
+};
+
+} // namespace howsim::tasks
+
+#endif // HOWSIM_TASKS_TASK_RESULT_HH

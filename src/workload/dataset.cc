@@ -1,0 +1,145 @@
+#include "workload/dataset.hh"
+
+#include "sim/logging.hh"
+
+namespace howsim::workload
+{
+
+namespace
+{
+
+constexpr std::uint64_t kGb = 1ull << 30;
+
+} // namespace
+
+DatasetSpec
+DatasetSpec::forTask(TaskKind kind)
+{
+    DatasetSpec d;
+    d.kind = kind;
+    switch (kind) {
+      case TaskKind::Select:
+        // 268 million 64-byte tuples, 1% selectivity (16 GB).
+        d.tupleBytes = 64;
+        d.tupleCount = 268'000'000;
+        d.inputBytes = d.tupleCount * d.tupleBytes;
+        d.selectivity = 0.01;
+        break;
+      case TaskKind::Aggregate:
+        // 268 million 64-byte tuples, SUM function.
+        d.tupleBytes = 64;
+        d.tupleCount = 268'000'000;
+        d.inputBytes = d.tupleCount * d.tupleBytes;
+        break;
+      case TaskKind::GroupBy:
+        // 268 million 64-byte tuples, 13.5 million distinct keys.
+        d.tupleBytes = 64;
+        d.tupleCount = 268'000'000;
+        d.inputBytes = d.tupleCount * d.tupleBytes;
+        d.distinctGroups = 13'500'000;
+        break;
+      case TaskKind::Sort:
+        // 16 GB of 100-byte tuples, 10-byte uniform keys.
+        d.tupleBytes = 100;
+        d.inputBytes = 16 * kGb;
+        d.tupleCount = d.inputBytes / d.tupleBytes;
+        d.keyBytes = 10;
+        break;
+      case TaskKind::Datacube:
+        // 536 million 32-byte tuples, 4 dimensions with 1%, 0.1%,
+        // 0.01% and 0.001% distinct values.
+        d.tupleBytes = 32;
+        d.tupleCount = 536'000'000;
+        d.inputBytes = d.tupleCount * d.tupleBytes;
+        break;
+      case TaskKind::Join:
+        // 32 GB total: 64-byte tuples with 4-byte uniform keys,
+        // projected to 32 bytes.
+        d.tupleBytes = 64;
+        d.inputBytes = 32 * kGb;
+        d.tupleCount = d.inputBytes / d.tupleBytes;
+        d.keyBytes = 4;
+        d.projectedTupleBytes = 32;
+        break;
+      case TaskKind::Dmine:
+        // 300 million transactions, 1 million items, average 4 items
+        // per transaction, 0.1% minimum support (~16 GB encoded).
+        d.transactions = 300'000'000;
+        d.itemDomain = 1'000'000;
+        d.avgItemsPerTxn = 4.0;
+        d.minSupport = 0.001;
+        // Each transaction: header + ~4 item ids.
+        d.tupleBytes = 56;
+        d.tupleCount = d.transactions;
+        d.inputBytes = d.tupleCount * d.tupleBytes;
+        break;
+      case TaskKind::Mview:
+        // 32-byte tuples; 4 GB derived relations, 1 GB deltas,
+        // 15 GB base data.
+        d.tupleBytes = 32;
+        d.inputBytes = 15 * kGb;
+        d.tupleCount = d.inputBytes / d.tupleBytes;
+        d.derivedBytes = 4 * kGb;
+        d.deltaBytes = 1 * kGb;
+        break;
+    }
+    return d;
+}
+
+std::string
+DatasetSpec::describe() const
+{
+    switch (kind) {
+      case TaskKind::Select:
+        return strprintf("%llu million, %u-byte tuples, %.0f%% "
+                         "selectivity",
+                         static_cast<unsigned long long>(
+                             tupleCount / 1000000),
+                         tupleBytes, selectivity * 100);
+      case TaskKind::Aggregate:
+        return strprintf("%llu million, %u-byte tuples, SUM function",
+                         static_cast<unsigned long long>(
+                             tupleCount / 1000000),
+                         tupleBytes);
+      case TaskKind::GroupBy:
+        return strprintf("%llu million, %u-byte tuples, %.1f million "
+                         "distinct",
+                         static_cast<unsigned long long>(
+                             tupleCount / 1000000),
+                         tupleBytes,
+                         static_cast<double>(distinctGroups) / 1e6);
+      case TaskKind::Sort:
+        return strprintf("%u-byte tuples, %u-byte uniformly "
+                         "distributed keys",
+                         tupleBytes, keyBytes);
+      case TaskKind::Datacube:
+        return strprintf("%llu million, %u-byte tuples, 4-dimensions",
+                         static_cast<unsigned long long>(
+                             tupleCount / 1000000),
+                         tupleBytes);
+      case TaskKind::Join:
+        return strprintf("%u-byte tuples, %u-byte keys, %u-byte "
+                         "tuples after projection",
+                         tupleBytes, keyBytes, projectedTupleBytes);
+      case TaskKind::Dmine:
+        return strprintf("%llu million transactions, %llu million "
+                         "items, avg %.0f items per transaction, "
+                         "%.1f%% minsup",
+                         static_cast<unsigned long long>(
+                             transactions / 1000000),
+                         static_cast<unsigned long long>(
+                             itemDomain / 1000000),
+                         avgItemsPerTxn, minSupport * 100);
+      case TaskKind::Mview:
+        return strprintf("%u-byte tuples, %llu GB derived relations, "
+                         "%llu GB deltas",
+                         tupleBytes,
+                         static_cast<unsigned long long>(
+                             derivedBytes >> 30),
+                         static_cast<unsigned long long>(
+                             deltaBytes >> 30));
+    }
+    panic("unknown TaskKind");
+}
+
+} // namespace howsim::workload

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Dataset descriptors reproducing the paper's Table 2.
+ */
+
+#ifndef HOWSIM_WORKLOAD_DATASET_HH
+#define HOWSIM_WORKLOAD_DATASET_HH
+
+#include <cstdint>
+#include <string>
+
+#include "workload/task_kind.hh"
+
+namespace howsim::workload
+{
+
+/** Characteristics of one task's dataset (Table 2). */
+struct DatasetSpec
+{
+    TaskKind kind = TaskKind::Select;
+
+    /** Primary input size in bytes. */
+    std::uint64_t inputBytes = 0;
+
+    std::uint32_t tupleBytes = 0;
+    std::uint64_t tupleCount = 0;
+
+    /** @name select/aggregate/groupby */
+    /** @{ */
+    double selectivity = 0.0;          //!< select: output fraction
+    std::uint64_t distinctGroups = 0;  //!< groupby: distinct keys
+    /** @} */
+
+    /** @name sort */
+    /** @{ */
+    std::uint32_t keyBytes = 0;
+    /** @} */
+
+    /** @name join (R joined with S after projection) */
+    /** @{ */
+    std::uint32_t projectedTupleBytes = 0;
+    /** @} */
+
+    /** @name dmine (Apriori) */
+    /** @{ */
+    std::uint64_t transactions = 0;
+    std::uint64_t itemDomain = 0;
+    double avgItemsPerTxn = 0.0;
+    double minSupport = 0.0;
+    /** @} */
+
+    /** @name mview */
+    /** @{ */
+    std::uint64_t derivedBytes = 0; //!< derived relations
+    std::uint64_t deltaBytes = 0;   //!< update deltas
+    /** @} */
+
+    /** One-line description matching the Table 2 row. */
+    std::string describe() const;
+
+    /** The Table 2 dataset for @p kind. */
+    static DatasetSpec forTask(TaskKind kind);
+};
+
+} // namespace howsim::workload
+
+#endif // HOWSIM_WORKLOAD_DATASET_HH

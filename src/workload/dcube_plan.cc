@@ -1,0 +1,123 @@
+#include "workload/dcube_plan.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace howsim::workload
+{
+
+namespace
+{
+
+constexpr std::uint64_t kMb = 1ull << 20;
+
+/**
+ * Group-by footprints for the 4-dimensional cube over dimensions
+ * A (1% distinct), B (0.1%), C (0.01%), D (0.001%). Correlation
+ * between dimensions caps the multi-dimensional counts; the table is
+ * synthesized to reproduce the paper's two anchors: the largest
+ * group-by needs 695 MB and the other 14 total ~2.3 GB.
+ */
+const std::vector<CubeGroupBy> kLattice = {
+    {"ABCD", 695 * kMb},
+    {"ABC", 550 * kMb},
+    {"ABD", 420 * kMb},
+    {"AB", 330 * kMb},
+    {"ACD", 300 * kMb},
+    {"AC", 180 * kMb},
+    {"A", 172 * kMb},
+    {"BCD", 150 * kMb},
+    {"AD", 120 * kMb},
+    {"BC", 60 * kMb},
+    {"BD", 35 * kMb},
+    {"B", 17 * kMb},
+    {"CD", 15 * kMb},
+    {"C", 1717 * 1024},
+    {"D", 172 * 1024},
+};
+
+} // namespace
+
+const std::vector<CubeGroupBy> &
+DatacubePlan::lattice()
+{
+    return kLattice;
+}
+
+std::uint64_t
+DatacubePlan::rootBytes()
+{
+    return kLattice.front().bytes;
+}
+
+std::uint64_t
+DatacubePlan::totalResultBytes()
+{
+    std::uint64_t sum = 0;
+    for (const auto &g : kLattice)
+        sum += g.bytes;
+    return sum;
+}
+
+std::uint64_t
+DatacubePlan::nonRootBytes()
+{
+    return totalResultBytes() - rootBytes();
+}
+
+DatacubePlan
+DatacubePlan::plan(std::uint64_t usable_bytes, bool unified_memory)
+{
+    if (usable_bytes == 0)
+        panic("DatacubePlan: zero memory");
+    DatacubePlan p;
+
+    if (unified_memory && totalResultBytes() <= usable_bytes) {
+        // Shared memory holds every table at once: single scan.
+        p.scans.emplace_back();
+        for (int i = 0; i < static_cast<int>(kLattice.size()); ++i)
+            p.scans.front().push_back(i);
+        return p;
+    }
+
+    // The root group-by is computed from the base data in its own
+    // scan (every other group-by derives from it within later
+    // scans' pipelines).
+    p.scans.push_back({0});
+    if (kLattice[0].bytes > usable_bytes)
+        p.overflowing.push_back(0);
+
+    // Pack the remaining group-bys first-fit-decreasing (the lattice
+    // table is already size-ordered).
+    std::vector<std::vector<int>> bins;
+    std::vector<std::uint64_t> fill;
+    for (int i = 1; i < static_cast<int>(kLattice.size()); ++i) {
+        std::uint64_t sz = kLattice[static_cast<std::size_t>(i)].bytes;
+        if (sz > usable_bytes) {
+            // Oversized: its own overflow scan.
+            p.overflowing.push_back(i);
+            bins.push_back({i});
+            fill.push_back(usable_bytes);
+            continue;
+        }
+        bool placed = false;
+        for (std::size_t b = 0; b < bins.size(); ++b) {
+            if (fill[b] + sz <= usable_bytes) {
+                bins[b].push_back(i);
+                fill[b] += sz;
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            bins.push_back({i});
+            fill.push_back(sz);
+        }
+    }
+    for (auto &b : bins)
+        p.scans.push_back(std::move(b));
+    return p;
+}
+
+} // namespace howsim::workload

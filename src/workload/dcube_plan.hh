@@ -1,0 +1,81 @@
+/**
+ * @file
+ * PipeHash-style planning for the datacube task.
+ *
+ * The paper's dcube dataset (4 dimensions; 536 M tuples) requires 15
+ * group-bys. The lattice's hash-table footprint reproduces the two
+ * figures the paper reports: the largest group-by needs 695 MB, and
+ * the remaining 14 merge into a single scan given 2.3 GB of
+ * aggregate device memory. The planner packs group-bys into base-data
+ * scans first-fit-decreasing within the usable memory; the root
+ * group-by always occupies the first scan, and any group-by larger
+ * than usable memory "overflows": its partial hash tables are
+ * forwarded to the front-end host during the scan.
+ */
+
+#ifndef HOWSIM_WORKLOAD_DCUBE_PLAN_HH
+#define HOWSIM_WORKLOAD_DCUBE_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace howsim::workload
+{
+
+/** One group-by node in the 4-dimensional lattice. */
+struct CubeGroupBy
+{
+    std::string name;
+    std::uint64_t bytes; //!< final hash-table footprint
+};
+
+/** Execution plan for the datacube. */
+struct DatacubePlan
+{
+    /** Bytes per hash-table entry (the 32-byte output tuples). */
+    static constexpr std::uint64_t entryBytes = 32;
+
+    /** Scans of the base dataset; scan[i] lists lattice indices. */
+    std::vector<std::vector<int>> scans;
+
+    /** Lattice indices whose tables exceed usable memory. */
+    std::vector<int> overflowing;
+
+    /** Passes over the base dataset (scans.size()). */
+    int
+    basePasses() const
+    {
+        return static_cast<int>(scans.size());
+    }
+
+    bool hasOverflow() const { return !overflowing.empty(); }
+
+    /** Total bytes of all final group-by tables. */
+    static std::uint64_t totalResultBytes();
+
+    /** Footprint of the largest (root) group-by. */
+    static std::uint64_t rootBytes();
+
+    /** Footprint of the 14 non-root group-bys combined. */
+    static std::uint64_t nonRootBytes();
+
+    /** The 15-node lattice (root first, then descending size). */
+    static const std::vector<CubeGroupBy> &lattice();
+
+    /**
+     * Build the plan for @p usable_bytes of aggregate memory.
+     *
+     * @param unified_memory True for shared-memory machines: when
+     *        every hash table fits in the (single) memory at once,
+     *        all 15 group-bys compute in one scan. Distributed
+     *        memories always compute the root in its own scan (the
+     *        other group-bys derive from it within later pipelines).
+     */
+    static DatacubePlan plan(std::uint64_t usable_bytes,
+                             bool unified_memory = false);
+};
+
+} // namespace howsim::workload
+
+#endif // HOWSIM_WORKLOAD_DCUBE_PLAN_HH

@@ -1,0 +1,56 @@
+#include "workload/estimate.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace howsim::workload
+{
+
+double
+expectedDistinct(double domain, double draws)
+{
+    if (domain <= 0 || draws <= 0)
+        return 0;
+    // Numerically stable form: d (1 - exp(n ln(1 - 1/d))). For large
+    // d the exponent approaches -n/d.
+    double ratio = draws / domain;
+    if (domain > 1e6) {
+        return domain * -std::expm1(-ratio);
+    }
+    double ln_keep = std::log1p(-1.0 / domain);
+    return domain * -std::expm1(draws * ln_keep);
+}
+
+int
+mergePasses(std::uint64_t runs, std::uint64_t fanin)
+{
+    if (fanin < 2)
+        panic("mergePasses: fan-in must be at least 2");
+    if (runs <= 1)
+        return 0;
+    int passes = 0;
+    while (runs > 1) {
+        runs = (runs + fanin - 1) / fanin;
+        ++passes;
+    }
+    return passes;
+}
+
+double
+frequentItemFraction(std::uint64_t total_items, double min_support)
+{
+    if (total_items == 0)
+        return 0.0;
+    // Under a Zipf(theta ~ 1) popularity curve, item i's share is
+    // roughly 1/(i H(n)); it clears min_support when
+    // i < 1 / (min_support * H(n)).
+    double h = std::log(static_cast<double>(total_items)) + 0.5772;
+    double cutoff = 1.0 / (min_support * h);
+    cutoff = std::clamp(cutoff, 0.0,
+                        static_cast<double>(total_items));
+    return cutoff / static_cast<double>(total_items);
+}
+
+} // namespace howsim::workload

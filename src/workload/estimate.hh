@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Statistical estimators used by the task models.
+ */
+
+#ifndef HOWSIM_WORKLOAD_ESTIMATE_HH
+#define HOWSIM_WORKLOAD_ESTIMATE_HH
+
+#include <cstdint>
+
+namespace howsim::workload
+{
+
+/**
+ * Expected number of distinct values observed after @p draws uniform
+ * draws from a domain of @p domain values (Cardenas' formula):
+ * d * (1 - (1 - 1/d)^n). Used to size partial hash tables on
+ * individual devices.
+ */
+double expectedDistinct(double domain, double draws);
+
+/**
+ * Number of merge passes needed to merge @p runs sorted runs with a
+ * fan-in of @p fanin (classic external-merge arithmetic); zero when
+ * a single run is already sorted.
+ */
+int mergePasses(std::uint64_t runs, std::uint64_t fanin);
+
+/**
+ * Fraction of @p total_items with support above @p min_support under
+ * a Zipf-like popularity distribution; used to size the frequent
+ * 1-itemset candidate set in the Apriori model.
+ */
+double frequentItemFraction(std::uint64_t total_items,
+                            double min_support);
+
+} // namespace howsim::workload
+
+#endif // HOWSIM_WORKLOAD_ESTIMATE_HH

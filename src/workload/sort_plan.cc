@@ -1,0 +1,34 @@
+#include "workload/sort_plan.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "workload/estimate.hh"
+
+namespace howsim::workload
+{
+
+SortPlan
+SortPlan::plan(std::uint64_t data_bytes, std::uint64_t memory_bytes,
+               std::uint32_t tuple_bytes, std::uint64_t io_buffer_bytes)
+{
+    if (memory_bytes == 0 || tuple_bytes == 0)
+        panic("SortPlan: zero memory or tuple size");
+    SortPlan p;
+    p.dataBytes = data_bytes;
+    p.runBytes = static_cast<std::uint64_t>(
+        static_cast<double>(memory_bytes) * usableFraction);
+    p.runBytes = std::max<std::uint64_t>(p.runBytes, tuple_bytes);
+    p.runCount = (data_bytes + p.runBytes - 1) / p.runBytes;
+    p.runCount = std::max<std::uint64_t>(p.runCount, 1);
+    p.runTuples = p.runBytes / tuple_bytes;
+
+    // Merge fan-in is bounded by how many per-run input buffers fit
+    // in memory alongside one output buffer.
+    std::uint64_t fanin = memory_bytes / io_buffer_bytes;
+    fanin = fanin > 2 ? fanin - 1 : 2;
+    p.mergePassCount = std::max(mergePasses(p.runCount, fanin), 1);
+    return p;
+}
+
+} // namespace howsim::workload

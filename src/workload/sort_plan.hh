@@ -1,0 +1,46 @@
+/**
+ * @file
+ * External-sort planning: run sizes and merge structure as a
+ * function of per-device memory.
+ *
+ * Reproduces the paper's observed regime: a 32 MB Active Disk
+ * holding 1 GB of data forms 40 runs of 25 MB; doubling memory to
+ * 64 MB halves that to 20 runs of 50 MB.
+ */
+
+#ifndef HOWSIM_WORKLOAD_SORT_PLAN_HH
+#define HOWSIM_WORKLOAD_SORT_PLAN_HH
+
+#include <cstdint>
+
+namespace howsim::workload
+{
+
+/** Sort structure for one device's share of the data. */
+struct SortPlan
+{
+    std::uint64_t dataBytes = 0;    //!< this device's share
+    std::uint64_t runBytes = 0;     //!< in-memory run size
+    std::uint64_t runCount = 0;     //!< number of initial runs
+    std::uint64_t runTuples = 0;    //!< tuples per run
+    int mergePassCount = 1;         //!< passes over data to merge
+
+    /** Fraction of device memory usable for run formation (the rest
+     *  holds I/O and communication buffers): 25/32, matching the
+     *  paper's 25 MB runs in 32 MB devices. */
+    static constexpr double usableFraction = 25.0 / 32.0;
+
+    /**
+     * Plan a sort of @p data_bytes (the device's share) with
+     * @p memory_bytes of device memory and @p tuple_bytes tuples,
+     * merging with @p io_buffer_bytes per run during the merge.
+     */
+    static SortPlan plan(std::uint64_t data_bytes,
+                         std::uint64_t memory_bytes,
+                         std::uint32_t tuple_bytes,
+                         std::uint64_t io_buffer_bytes = 256 * 1024);
+};
+
+} // namespace howsim::workload
+
+#endif // HOWSIM_WORKLOAD_SORT_PLAN_HH

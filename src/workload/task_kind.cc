@@ -1,0 +1,32 @@
+#include "workload/task_kind.hh"
+
+#include "sim/logging.hh"
+
+namespace howsim::workload
+{
+
+std::string
+taskName(TaskKind kind)
+{
+    switch (kind) {
+      case TaskKind::Select:
+        return "select";
+      case TaskKind::Aggregate:
+        return "aggregate";
+      case TaskKind::GroupBy:
+        return "groupby";
+      case TaskKind::Sort:
+        return "sort";
+      case TaskKind::Datacube:
+        return "dcube";
+      case TaskKind::Join:
+        return "join";
+      case TaskKind::Dmine:
+        return "dmine";
+      case TaskKind::Mview:
+        return "mview";
+    }
+    panic("unknown TaskKind");
+}
+
+} // namespace howsim::workload

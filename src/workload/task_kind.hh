@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The eight decision support tasks of the paper's workload suite.
+ */
+
+#ifndef HOWSIM_WORKLOAD_TASK_KIND_HH
+#define HOWSIM_WORKLOAD_TASK_KIND_HH
+
+#include <array>
+#include <string>
+
+namespace howsim::workload
+{
+
+/** Decision support task identifiers, in the paper's order. */
+enum class TaskKind
+{
+    Select,    //!< SQL select, 1% selectivity
+    Aggregate, //!< SQL aggregate (SUM)
+    GroupBy,   //!< SQL group-by
+    Sort,      //!< external sort
+    Datacube,  //!< datacube operation (PipeHash)
+    Join,      //!< SQL project-join
+    Dmine,     //!< association-rule mining (Apriori)
+    Mview,     //!< materialized view maintenance
+};
+
+/** All tasks, in presentation order. */
+inline constexpr std::array<TaskKind, 8> allTasks = {
+    TaskKind::Select,   TaskKind::Aggregate, TaskKind::GroupBy,
+    TaskKind::Sort,     TaskKind::Datacube,  TaskKind::Join,
+    TaskKind::Dmine,    TaskKind::Mview,
+};
+
+/** Short lowercase name as used in the paper's figures. */
+std::string taskName(TaskKind kind);
+
+} // namespace howsim::workload
+
+#endif // HOWSIM_WORKLOAD_TASK_KIND_HH

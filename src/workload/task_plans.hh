@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Planning helpers for join, association-rule mining and
+ * materialized-view maintenance.
+ */
+
+#ifndef HOWSIM_WORKLOAD_TASK_PLANS_HH
+#define HOWSIM_WORKLOAD_TASK_PLANS_HH
+
+#include <cstdint>
+
+#include "workload/dataset.hh"
+
+namespace howsim::workload
+{
+
+/**
+ * GRACE-style project-join plan. Both relations are scanned,
+ * projected, hash-partitioned across devices, and partitions are
+ * joined build/probe. Partition counts follow from memory.
+ */
+struct JoinPlan
+{
+    std::uint64_t relationBytes = 0;   //!< R (= S) input size
+    std::uint64_t projectedBytes = 0;  //!< after projection
+    std::uint64_t resultBytes = 0;     //!< join output written back
+    std::uint64_t partitionsPerDevice = 1;
+    bool multiPass = false; //!< partitions exceed memory -> repartition
+
+    static JoinPlan plan(const DatasetSpec &data, int devices,
+                         std::uint64_t memory_per_device);
+};
+
+/**
+ * Apriori plan: passes over the transaction data, candidate-counter
+ * footprint, and the candidate-exchange traffic between passes. The
+ * paper's dataset needs 5.4 MB of frequency counters per disk and
+ * its memory usage does not vary with device memory.
+ */
+struct DminePlan
+{
+    int passes = 2;
+    std::uint64_t counterBytesPerDevice = 0;
+    std::uint64_t candidateBroadcastBytes = 0; //!< per device, per pass
+    std::uint64_t frequentItems = 0;
+
+    static DminePlan plan(const DatasetSpec &data);
+};
+
+/**
+ * Materialized-view maintenance plan: delta repartition, base-scan
+ * filtering, derived-relation update volumes.
+ */
+struct MviewPlan
+{
+    std::uint64_t deltaBytes = 0;       //!< read + repartitioned
+    std::uint64_t baseScanBytes = 0;    //!< base data scanned
+    std::uint64_t semiJoinBytes = 0;    //!< matching base rows moved
+    std::uint64_t derivedBytes = 0;     //!< derived read and written
+
+    /** Bytes repartitioned device-to-device in total. */
+    std::uint64_t
+    shuffleBytes() const
+    {
+        return deltaBytes + semiJoinBytes;
+    }
+
+    static MviewPlan plan(const DatasetSpec &data);
+};
+
+} // namespace howsim::workload
+
+#endif // HOWSIM_WORKLOAD_TASK_PLANS_HH

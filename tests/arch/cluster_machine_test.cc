@@ -1,0 +1,102 @@
+/** @file Tests for the cluster machine assembly. */
+
+#include <gtest/gtest.h>
+
+#include "arch/cluster_machine.hh"
+#include "sim/simulator.hh"
+
+using namespace howsim;
+using namespace howsim::sim;
+
+TEST(ClusterMachine, FrontendIsExtraHost)
+{
+    Simulator simulator;
+    arch::ClusterMachine machine(simulator, 16,
+                                 disk::DiskSpec::seagateSt39102());
+    EXPECT_EQ(machine.size(), 16);
+    EXPECT_EQ(machine.frontendId(), 16);
+    EXPECT_EQ(machine.network().hostCount(), 17);
+}
+
+TEST(ClusterMachine, LocalIoGoesThroughPci)
+{
+    Simulator simulator;
+    arch::ClusterMachine machine(simulator, 2,
+                                 disk::DiskSpec::seagateSt39102());
+    auto body = [&]() -> Coro<void> {
+        co_await machine.read(0, 0, 1 << 20);
+    };
+    simulator.spawn(body());
+    simulator.run();
+    EXPECT_EQ(machine.driveMech(0).stats().bytesRead, 1u << 20);
+    EXPECT_EQ(machine.driveMech(1).stats().bytesRead, 0u);
+}
+
+TEST(ClusterMachine, NodesHaveIndependentDisks)
+{
+    Simulator simulator;
+    arch::ClusterMachine machine(simulator, 4,
+                                 disk::DiskSpec::seagateSt39102());
+    Tick done = 0;
+    int remaining = 4;
+    auto body = [&](int node) -> Coro<void> {
+        for (int i = 0; i < 8; ++i)
+            co_await machine.read(node,
+                                  static_cast<std::uint64_t>(i) * 256
+                                      * 1024,
+                                  256 * 1024);
+        if (--remaining == 0)
+            done = Simulator::current()->now();
+    };
+    for (int node = 0; node < 4; ++node)
+        simulator.spawn(body(node));
+    simulator.run();
+    // Four nodes stream in parallel: total time ~ one node's time.
+    double rate = 4 * 8 * 256.0 * 1024 / toSeconds(done);
+    EXPECT_GT(rate, 50e6);
+}
+
+TEST(ClusterMachine, MessagingReachesFrontend)
+{
+    Simulator simulator;
+    arch::ClusterMachine machine(simulator, 4,
+                                 disk::DiskSpec::seagateSt39102());
+    bool got = false;
+    auto sender = [&]() -> Coro<void> {
+        co_await machine.msg().send(1, machine.frontendId(),
+                                    net::Message{.bytes = 1000});
+    };
+    auto receiver = [&]() -> Coro<void> {
+        auto m = co_await machine.msg().recv(machine.frontendId());
+        got = m.src == 1;
+    };
+    simulator.spawn(sender());
+    simulator.spawn(receiver());
+    simulator.run();
+    EXPECT_TRUE(got);
+}
+
+TEST(ClusterMachine, BarrierCoversWorkersOnly)
+{
+    Simulator simulator;
+    arch::ClusterMachine machine(simulator, 3,
+                                 disk::DiskSpec::seagateSt39102());
+    int released = 0;
+    auto body = [&](Tick d) -> Coro<void> {
+        co_await delay(d);
+        co_await machine.barrier();
+        ++released;
+    };
+    simulator.spawn(body(10));
+    simulator.spawn(body(20));
+    simulator.spawn(body(30));
+    simulator.run();
+    EXPECT_EQ(released, 3);
+}
+
+TEST(ClusterMachine, UsableMemoryExcludesKernel)
+{
+    arch::ClusterParams params;
+    EXPECT_EQ(params.memoryBytes - params.usableMemoryBytes,
+              24ull << 20);
+}

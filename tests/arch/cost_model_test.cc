@@ -1,0 +1,77 @@
+/** @file Tests reproducing the paper's Table 1 arithmetic. */
+
+#include <gtest/gtest.h>
+
+#include "arch/cost_model.hh"
+
+using namespace howsim::arch;
+
+TEST(CostModel, ThreeSnapshots)
+{
+    ASSERT_EQ(priceHistory().size(), 3u);
+    EXPECT_EQ(priceHistory()[0].date, "8/98");
+    EXPECT_EQ(priceHistory()[1].date, "11/98");
+    EXPECT_EQ(priceHistory()[2].date, "7/99");
+}
+
+TEST(CostModel, ComputedAdTotalsMatchPublished)
+{
+    for (const auto &snap : priceHistory()) {
+        EXPECT_NEAR(snap.adTotal(64), snap.publishedAdTotal,
+                    snap.publishedAdTotal * 0.02)
+            << snap.date;
+    }
+}
+
+TEST(CostModel, ComputedClusterTotalsNearPublished)
+{
+    // 8/98 and 11/98 roll up exactly; the paper's 7/99 cluster total
+    // ($108k) is ~15% below its own component sum (a known
+    // inconsistency in Table 1), so allow it.
+    const auto &history = priceHistory();
+    EXPECT_NEAR(history[0].clusterTotal(64),
+                history[0].publishedClusterTotal, 500);
+    EXPECT_NEAR(history[1].clusterTotal(64),
+                history[1].publishedClusterTotal, 500);
+    EXPECT_NEAR(history[2].clusterTotal(64),
+                history[2].publishedClusterTotal,
+                history[2].publishedClusterTotal * 0.20);
+}
+
+TEST(CostModel, AdIsAboutHalfTheClusterPrice)
+{
+    // The paper: "the price of Active Disk configurations is
+    // consistently about half that of commodity cluster
+    // configurations" (published totals give 2.2-2.4x).
+    for (const auto &snap : priceHistory()) {
+        double ratio = snap.publishedClusterTotal
+                       / snap.publishedAdTotal;
+        EXPECT_GT(ratio, 1.9) << snap.date;
+        EXPECT_LT(ratio, 2.6) << snap.date;
+    }
+}
+
+TEST(CostModel, SmpMoreThanOrderOfMagnitudeAboveAd)
+{
+    double ad64 = priceHistory().back().adTotal(64);
+    EXPECT_GT(smpPrice(64) / ad64, 10.0);
+}
+
+TEST(CostModel, PricesDeclineOverTheYear)
+{
+    const auto &history = priceHistory();
+    EXPECT_GT(history[0].adTotal(64), history[1].adTotal(64));
+    EXPECT_GT(history[1].adTotal(64), history[2].adTotal(64));
+    EXPECT_GT(history[0].clusterTotal(64), history[2].clusterTotal(64));
+}
+
+TEST(CostModel, TotalsScaleWithNodeCount)
+{
+    const auto &snap = priceHistory().back();
+    double ad16 = snap.adTotal(16);
+    double ad64 = snap.adTotal(64);
+    // Per-drive costs dominate, so 4x drives is a bit under 4x price
+    // (fixed front-end amortizes).
+    EXPECT_GT(ad64 / ad16, 3.0);
+    EXPECT_LT(ad64 / ad16, 4.0);
+}

@@ -1,0 +1,63 @@
+/**
+ * @file Reproducibility: identical configurations must produce
+ * bit-identical simulations — same simulated end time, same event
+ * count, same accounting. This is what makes every figure in
+ * EXPERIMENTS.md exactly regenerable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+using namespace howsim;
+using core::Arch;
+using core::ExperimentConfig;
+using workload::TaskKind;
+
+namespace
+{
+
+struct Fingerprint
+{
+    sim::Tick elapsed;
+    std::uint64_t bytes;
+
+    bool
+    operator==(const Fingerprint &other) const
+    {
+        return elapsed == other.elapsed && bytes == other.bytes;
+    }
+};
+
+Fingerprint
+fingerprint(Arch arch, TaskKind task)
+{
+    ExperimentConfig config;
+    config.arch = arch;
+    config.task = task;
+    config.scale = 8;
+    auto result = core::runExperiment(config);
+    return Fingerprint{result.elapsedTicks, result.interconnectBytes};
+}
+
+} // namespace
+
+TEST(Determinism, RepeatRunsAreBitIdentical)
+{
+    for (auto arch : {Arch::ActiveDisk, Arch::Cluster, Arch::Smp}) {
+        for (auto task : {TaskKind::Select, TaskKind::Sort}) {
+            auto a = fingerprint(arch, task);
+            auto b = fingerprint(arch, task);
+            EXPECT_TRUE(a == b)
+                << core::archName(arch) << "/"
+                << workload::taskName(task);
+        }
+    }
+}
+
+TEST(Determinism, DifferentConfigsDiffer)
+{
+    auto a = fingerprint(Arch::ActiveDisk, TaskKind::Select);
+    auto b = fingerprint(Arch::Cluster, TaskKind::Select);
+    EXPECT_NE(a.elapsed, b.elapsed);
+}

@@ -1,0 +1,112 @@
+/** @file End-to-end tests of the experiment driver. */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+using namespace howsim;
+using core::Arch;
+using core::ExperimentConfig;
+using workload::TaskKind;
+
+TEST(Experiment, ArchNames)
+{
+    EXPECT_EQ(core::archName(Arch::ActiveDisk), "active");
+    EXPECT_EQ(core::archName(Arch::Cluster), "cluster");
+    EXPECT_EQ(core::archName(Arch::Smp), "smp");
+}
+
+TEST(Experiment, RunsOnEveryArchitecture)
+{
+    for (auto arch : {Arch::ActiveDisk, Arch::Cluster, Arch::Smp}) {
+        ExperimentConfig config;
+        config.arch = arch;
+        config.task = TaskKind::Aggregate;
+        config.scale = 8;
+        auto result = core::runExperiment(config);
+        EXPECT_GT(result.seconds(), 1.0) << core::archName(arch);
+    }
+}
+
+TEST(Experiment, SixteenDiskConfigsComparable)
+{
+    // The paper's first observation: at 16 disks all three
+    // architectures perform comparably (well-optimized baselines).
+    double secs[3];
+    int i = 0;
+    for (auto arch : {Arch::ActiveDisk, Arch::Cluster, Arch::Smp}) {
+        ExperimentConfig config;
+        config.arch = arch;
+        config.task = TaskKind::Select;
+        config.scale = 16;
+        secs[i++] = core::runExperiment(config).seconds();
+    }
+    // SMP/AD at 16 disks sits right at the media-rate / FC-share
+    // ratio (21.3 / 12.5 ~ 1.7).
+    EXPECT_LT(secs[1] / secs[0], 1.7);  // cluster vs AD
+    EXPECT_LT(secs[2] / secs[0], 1.85); // SMP vs AD
+    EXPECT_GT(secs[1] / secs[0], 0.6);
+}
+
+TEST(Experiment, ActiveDisksPullAheadOfSmpWithScale)
+{
+    auto ratio_at = [](int scale) {
+        ExperimentConfig ad;
+        ad.task = TaskKind::Aggregate;
+        ad.scale = scale;
+        ExperimentConfig smp = ad;
+        smp.arch = Arch::Smp;
+        return core::runExperiment(smp).seconds()
+               / core::runExperiment(ad).seconds();
+    };
+    double r16 = ratio_at(16);
+    double r64 = ratio_at(64);
+    EXPECT_GT(r64, 2.0 * r16);
+}
+
+TEST(Experiment, VariantKnobsReachTheMachine)
+{
+    ExperimentConfig base;
+    base.task = TaskKind::Sort;
+    base.scale = 8;
+    double t_base = core::runExperiment(base).seconds();
+
+    ExperimentConfig restricted = base;
+    restricted.directD2d = false;
+    EXPECT_GT(core::runExperiment(restricted).seconds(), t_base);
+
+    ExperimentConfig fast_io = base;
+    fast_io.interconnectRate = 400e6;
+    EXPECT_LE(core::runExperiment(fast_io).seconds(), t_base * 1.01);
+
+    ExperimentConfig fast_disk = base;
+    fast_disk.drive = disk::DiskSpec::hitachiDk3e1t91();
+    EXPECT_LT(core::runExperiment(fast_disk).seconds(), t_base);
+}
+
+TEST(Experiment, PriceOrderingMatchesPaper)
+{
+    double ad = core::configPrice(Arch::ActiveDisk, 64);
+    double cluster = core::configPrice(Arch::Cluster, 64);
+    double smp = core::configPrice(Arch::Smp, 64);
+    EXPECT_LT(ad, cluster);
+    EXPECT_GT(cluster / ad, 1.9);
+    EXPECT_GT(smp / ad, 10.0);
+}
+
+TEST(Experiment, PricePerformanceFavorsActiveDisks)
+{
+    // Identical disks/processors: AD at least matches cluster
+    // performance at less than half the price, and beats the SMP
+    // outright (the paper's headline).
+    ExperimentConfig config;
+    config.task = TaskKind::Aggregate;
+    config.scale = 32;
+    double ad_time = core::runExperiment(config).seconds();
+    config.arch = Arch::Smp;
+    double smp_time = core::runExperiment(config).seconds();
+    double ad_cost_perf = ad_time * core::configPrice(
+        Arch::ActiveDisk, 32);
+    double smp_cost_perf = smp_time * core::configPrice(Arch::Smp, 32);
+    EXPECT_GT(smp_cost_perf / ad_cost_perf, 20.0);
+}

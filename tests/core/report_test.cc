@@ -1,0 +1,64 @@
+/** @file Tests for the results-table utility. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/report.hh"
+
+using howsim::core::Table;
+
+TEST(Report, NumFormatsDecimals)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(10, 0), "10");
+    EXPECT_EQ(Table::num(0.5, 3), "0.500");
+}
+
+TEST(Report, CsvRoundTrip)
+{
+    Table t({"task", "seconds"});
+    t.addRow({"select", "57.4"});
+    t.addRow({"sort", "581.3"});
+    EXPECT_EQ(t.toCsv(), "task,seconds\nselect,57.4\nsort,581.3\n");
+    EXPECT_EQ(t.rowCount(), 2u);
+    EXPECT_EQ(t.columnCount(), 2u);
+}
+
+TEST(Report, PrintAlignsColumns)
+{
+    Table t({"a", "longheader"});
+    t.addRow({"xxxxxx", "1"});
+    char buf[256] = {};
+    std::FILE *mem = fmemopen(buf, sizeof(buf), "w");
+    ASSERT_NE(mem, nullptr);
+    t.print(mem);
+    std::fclose(mem);
+    std::string out(buf);
+    // Header line pads column 0 to the widest cell.
+    EXPECT_NE(out.find("a       longheader"), std::string::npos);
+    EXPECT_NE(out.find("xxxxxx  1"), std::string::npos);
+}
+
+TEST(Report, CsvFileWrittenWhenEnvSet)
+{
+    setenv("HOWSIM_CSV_DIR", "/tmp", 1);
+    Table t({"x"});
+    t.addRow({"1"});
+    EXPECT_TRUE(t.maybeWriteCsv("howsim_report_test"));
+    std::ifstream f("/tmp/howsim_report_test.csv");
+    std::stringstream ss;
+    ss << f.rdbuf();
+    EXPECT_EQ(ss.str(), "x\n1\n");
+    unsetenv("HOWSIM_CSV_DIR");
+    std::remove("/tmp/howsim_report_test.csv");
+}
+
+TEST(Report, NoCsvWithoutEnv)
+{
+    unsetenv("HOWSIM_CSV_DIR");
+    Table t({"x"});
+    EXPECT_FALSE(t.maybeWriteCsv("howsim_report_test2"));
+}

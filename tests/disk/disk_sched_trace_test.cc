@@ -1,0 +1,133 @@
+/** @file Tests for disk schedulers and request tracing. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "disk/disk.hh"
+#include "sim/random.hh"
+
+using namespace howsim::disk;
+using namespace howsim::sim;
+
+namespace
+{
+
+/** Issue @p n random small reads through @p pol; return seconds. */
+double
+randomBacklogSeconds(SchedPolicy pol, int n, std::uint64_t seed)
+{
+    Simulator sim;
+    Disk disk(sim, DiskSpec::seagateSt39102(), pol);
+    Rng rng(seed);
+    std::vector<std::uint64_t> lbas;
+    for (int i = 0; i < n; ++i)
+        lbas.push_back(rng.below(disk.geometry().totalSectors() - 16));
+    Tick finish = 0;
+    int outstanding = 0;
+    auto issue = [&](std::uint64_t lba) -> Coro<void> {
+        ++outstanding;
+        co_await disk.access(DiskRequest{lba, 16, false});
+        if (--outstanding == 0)
+            finish = Simulator::current()->now();
+    };
+    for (auto lba : lbas)
+        sim.spawn(issue(lba));
+    sim.run();
+    return toSeconds(finish);
+}
+
+} // namespace
+
+TEST(DiskSched, SstfBeatsFcfsOnBacklog)
+{
+    double fcfs = randomBacklogSeconds(SchedPolicy::Fcfs, 64, 11);
+    double sstf = randomBacklogSeconds(SchedPolicy::Sstf, 64, 11);
+    EXPECT_LT(sstf, fcfs * 0.8);
+}
+
+TEST(DiskSched, SstfComparableToElevator)
+{
+    double elevator
+        = randomBacklogSeconds(SchedPolicy::Elevator, 64, 13);
+    double sstf = randomBacklogSeconds(SchedPolicy::Sstf, 64, 13);
+    EXPECT_LT(sstf, elevator * 1.3);
+    EXPECT_GT(sstf, elevator * 0.5);
+}
+
+TEST(DiskSched, AllPoliciesServeEverything)
+{
+    for (auto pol : {SchedPolicy::Fcfs, SchedPolicy::Elevator,
+                     SchedPolicy::Sstf}) {
+        Simulator sim;
+        Disk disk(sim, DiskSpec::seagateSt39102(), pol);
+        int served = 0;
+        auto issue = [&](std::uint64_t lba) -> Coro<void> {
+            co_await disk.access(DiskRequest{lba, 8, false});
+            ++served;
+        };
+        for (int i = 0; i < 32; ++i)
+            sim.spawn(issue(static_cast<std::uint64_t>(i) * 500000));
+        sim.run();
+        EXPECT_EQ(served, 32);
+        EXPECT_EQ(disk.stats().requests, 32u);
+    }
+}
+
+TEST(DiskTrace, RecordsEveryServicedRequest)
+{
+    Simulator sim;
+    Disk disk(sim, DiskSpec::seagateSt39102());
+    std::vector<TraceRecord> trace;
+    disk.traceTo(&trace);
+    auto body = [&]() -> Coro<void> {
+        co_await disk.access(DiskRequest{0, 64, false});
+        co_await disk.access(DiskRequest{100000, 32, true});
+        co_await disk.access(DiskRequest{64, 64, false});
+    };
+    sim.spawn(body());
+    sim.run();
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace[0].request.lba, 0u);
+    EXPECT_FALSE(trace[0].request.write);
+    EXPECT_EQ(trace[1].request.lba, 100000u);
+    EXPECT_TRUE(trace[1].request.write);
+    // Trace is in service order with non-decreasing start times.
+    EXPECT_LE(trace[0].serviceStart, trace[1].serviceStart);
+    EXPECT_LE(trace[1].serviceStart, trace[2].serviceStart);
+    // Details carry the mechanism decomposition.
+    EXPECT_GT(trace[1].detail.seekTicks, 0u);
+    EXPECT_GT(trace[0].detail.mediaTicks, 0u);
+}
+
+TEST(DiskTrace, DisabledByDefault)
+{
+    Simulator sim;
+    Disk disk(sim, DiskSpec::seagateSt39102());
+    auto body = [&]() -> Coro<void> {
+        co_await disk.access(DiskRequest{0, 8, false});
+    };
+    sim.spawn(body());
+    sim.run(); // would crash on a dangling sink if tracing were on
+    EXPECT_EQ(disk.stats().requests, 1u);
+}
+
+TEST(DiskTrace, TraceTimingConsistentWithStats)
+{
+    Simulator sim;
+    Disk disk(sim, DiskSpec::seagateSt39102());
+    std::vector<TraceRecord> trace;
+    disk.traceTo(&trace);
+    auto body = [&]() -> Coro<void> {
+        for (int i = 0; i < 10; ++i) {
+            co_await disk.access(DiskRequest{
+                static_cast<std::uint64_t>(i) * 100000, 16, false});
+        }
+    };
+    sim.spawn(body());
+    sim.run();
+    Tick busy = 0;
+    for (const auto &rec : trace)
+        busy += rec.detail.serviceTicks();
+    EXPECT_EQ(busy, disk.stats().busyTicks);
+}

@@ -1,0 +1,69 @@
+/** @file Tests for disk spec presets against published figures. */
+
+#include <gtest/gtest.h>
+
+#include "disk/disk_spec.hh"
+
+using namespace howsim::disk;
+
+TEST(DiskSpec, SeagateCapacityNearNineGb)
+{
+    auto s = DiskSpec::seagateSt39102();
+    double gb = static_cast<double>(s.capacityBytes()) / 1e9;
+    EXPECT_NEAR(gb, 9.1, 0.3);
+}
+
+TEST(DiskSpec, SeagateMediaRatesMatchDatasheet)
+{
+    auto s = DiskSpec::seagateSt39102();
+    // Published formatted media rate: 14.5 - 21.3 MB/s.
+    EXPECT_NEAR(s.minMediaRate() / 1e6, 14.5, 0.5);
+    EXPECT_NEAR(s.maxMediaRate() / 1e6, 21.3, 0.5);
+}
+
+TEST(DiskSpec, SeagateRevolutionTime)
+{
+    auto s = DiskSpec::seagateSt39102();
+    // 10,025 RPM -> 5.985 ms per revolution.
+    EXPECT_NEAR(s.revolutionNs() / 1e6, 5.985, 0.01);
+}
+
+TEST(DiskSpec, HitachiIsFasterEverywhere)
+{
+    auto seagate = DiskSpec::seagateSt39102();
+    auto hitachi = DiskSpec::hitachiDk3e1t91();
+    EXPECT_GT(hitachi.rpm, seagate.rpm);
+    EXPECT_GT(hitachi.minMediaRate(), seagate.minMediaRate());
+    EXPECT_GT(hitachi.maxMediaRate(), seagate.maxMediaRate());
+    EXPECT_LT(hitachi.avgSeekMs, seagate.avgSeekMs);
+    EXPECT_LT(hitachi.maxSeekMs, seagate.maxSeekMs);
+}
+
+TEST(DiskSpec, HitachiMediaRatesMatchDatasheet)
+{
+    auto s = DiskSpec::hitachiDk3e1t91();
+    EXPECT_NEAR(s.minMediaRate() / 1e6, 18.3, 0.6);
+    EXPECT_NEAR(s.maxMediaRate() / 1e6, 27.3, 0.6);
+}
+
+TEST(DiskSpec, ZonesOrderedFastestFirst)
+{
+    auto s = DiskSpec::seagateSt39102();
+    ASSERT_GE(s.zones.size(), 2u);
+    for (std::size_t z = 1; z < s.zones.size(); ++z) {
+        EXPECT_LE(s.zones[z].sectorsPerTrack,
+                  s.zones[z - 1].sectorsPerTrack);
+    }
+}
+
+TEST(DiskSpec, TotalsAreConsistent)
+{
+    auto s = DiskSpec::seagateSt39102();
+    std::uint64_t sectors = 0;
+    for (const auto &z : s.zones) {
+        sectors += static_cast<std::uint64_t>(z.cylinders)
+                   * s.tracksPerCylinder * z.sectorsPerTrack;
+    }
+    EXPECT_EQ(sectors, s.totalSectors());
+    EXPECT_EQ(sectors * s.sectorBytes, s.capacityBytes());
+}

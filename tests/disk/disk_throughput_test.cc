@@ -1,0 +1,93 @@
+/**
+ * @file Parameterized throughput properties of the disk model,
+ * swept across drive models and request sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "disk/disk.hh"
+
+using namespace howsim::disk;
+using namespace howsim::sim;
+
+namespace
+{
+
+/** (drive index: 0=Seagate 1=Hitachi, request KB). */
+using Param = std::tuple<int, int>;
+
+DiskSpec
+driveFor(int idx)
+{
+    return idx == 0 ? DiskSpec::seagateSt39102()
+                    : DiskSpec::hitachiDk3e1t91();
+}
+
+double
+streamRate(const DiskSpec &spec, std::uint32_t req_kb,
+           std::uint64_t total_bytes)
+{
+    Simulator sim;
+    Disk disk(sim, spec);
+    Tick finish = 0;
+    auto body = [&]() -> Coro<void> {
+        std::uint64_t lba = 0;
+        std::uint32_t sectors = req_kb * 2;
+        std::uint64_t reqs = total_bytes / (req_kb * 1024ull);
+        for (std::uint64_t i = 0; i < reqs; ++i) {
+            co_await disk.access(DiskRequest{lba, sectors, false});
+            lba += sectors;
+        }
+        finish = Simulator::current()->now();
+    };
+    sim.spawn(body());
+    sim.run();
+    return static_cast<double>(total_bytes) / toSeconds(finish);
+}
+
+} // namespace
+
+class DiskThroughput : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(DiskThroughput, SequentialStreamingWithinMediaEnvelope)
+{
+    auto [drive_idx, req_kb] = GetParam();
+    DiskSpec spec = driveFor(drive_idx);
+    double rate = streamRate(spec, static_cast<std::uint32_t>(req_kb),
+                             16 << 20);
+    // Never exceeds the outer-zone media rate; large requests come
+    // close, small requests lose ground to per-request overheads.
+    EXPECT_LT(rate, spec.maxMediaRate() * 1.05);
+    double floor = req_kb >= 64 ? 0.70 : 0.35;
+    EXPECT_GT(rate, spec.maxMediaRate() * floor)
+        << "at " << req_kb << " KB requests";
+}
+
+TEST_P(DiskThroughput, LargerRequestsNeverSlower)
+{
+    auto [drive_idx, req_kb] = GetParam();
+    if (req_kb >= 1024)
+        GTEST_SKIP() << "no larger size to compare";
+    DiskSpec spec = driveFor(drive_idx);
+    double small = streamRate(spec, static_cast<std::uint32_t>(req_kb),
+                              8 << 20);
+    double large = streamRate(
+        spec, static_cast<std::uint32_t>(req_kb * 2), 8 << 20);
+    // 5% tolerance: read-ahead window interactions add small noise
+    // at the smallest request sizes.
+    EXPECT_GE(large, small * 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DiskThroughput,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(16, 64, 256, 1024)),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        return std::string(std::get<0>(info.param) == 0 ? "Seagate"
+                                                        : "Hitachi")
+               + "_" + std::to_string(std::get<1>(info.param)) + "KB";
+    });

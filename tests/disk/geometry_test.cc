@@ -1,0 +1,122 @@
+/** @file Tests for LBA-to-physical mapping. */
+
+#include <gtest/gtest.h>
+
+#include "disk/disk_spec.hh"
+#include "disk/geometry.hh"
+
+using namespace howsim::disk;
+
+namespace
+{
+
+DiskSpec
+tinySpec()
+{
+    DiskSpec s;
+    s.name = "tiny";
+    s.rpm = 6000; // 10 ms revolution
+    s.tracksPerCylinder = 2;
+    s.zones = {{4, 100}, {4, 50}};
+    return s;
+}
+
+} // namespace
+
+TEST(Geometry, TotalsFromZones)
+{
+    DiskSpec s = tinySpec();
+    Geometry g(s);
+    EXPECT_EQ(g.totalCylinders(), 8u);
+    // 4 cyl * 2 tracks * 100 + 4 * 2 * 50 = 800 + 400.
+    EXPECT_EQ(g.totalSectors(), 1200u);
+}
+
+TEST(Geometry, LocateFirstAndLastSector)
+{
+    DiskSpec s = tinySpec();
+    Geometry g(s);
+    Position p0 = g.locate(0);
+    EXPECT_EQ(p0.cylinder, 0u);
+    EXPECT_EQ(p0.track, 0u);
+    EXPECT_EQ(p0.sector, 0u);
+    EXPECT_EQ(p0.zone, 0u);
+    Position pl = g.locate(1199);
+    EXPECT_EQ(pl.cylinder, 7u);
+    EXPECT_EQ(pl.track, 1u);
+    EXPECT_EQ(pl.sector, 49u);
+    EXPECT_EQ(pl.zone, 1u);
+}
+
+TEST(Geometry, LocateTrackAndCylinderBoundaries)
+{
+    DiskSpec s = tinySpec();
+    Geometry g(s);
+    // Sector 100 is the first sector of track 1, cylinder 0.
+    Position p = g.locate(100);
+    EXPECT_EQ(p.cylinder, 0u);
+    EXPECT_EQ(p.track, 1u);
+    EXPECT_EQ(p.sector, 0u);
+    // Sector 200 is the first of cylinder 1.
+    p = g.locate(200);
+    EXPECT_EQ(p.cylinder, 1u);
+    EXPECT_EQ(p.track, 0u);
+    // Sector 800 is the first of zone 1 (cylinder 4).
+    p = g.locate(800);
+    EXPECT_EQ(p.cylinder, 4u);
+    EXPECT_EQ(p.zone, 1u);
+    EXPECT_EQ(p.sector, 0u);
+}
+
+TEST(Geometry, ZoneOfCylinder)
+{
+    DiskSpec s = tinySpec();
+    Geometry g(s);
+    EXPECT_EQ(g.zoneOfCylinder(0), 0u);
+    EXPECT_EQ(g.zoneOfCylinder(3), 0u);
+    EXPECT_EQ(g.zoneOfCylinder(4), 1u);
+    EXPECT_EQ(g.zoneOfCylinder(7), 1u);
+}
+
+TEST(Geometry, SectorTicksScaleWithDensity)
+{
+    DiskSpec s = tinySpec();
+    Geometry g(s);
+    // Zone 0 has twice the sectors per track, so each sector passes
+    // in half the time.
+    EXPECT_NEAR(static_cast<double>(g.sectorTicks(1)),
+                2.0 * static_cast<double>(g.sectorTicks(0)), 2.0);
+    // 10 ms revolution / 100 sectors = 100 us per sector in zone 0.
+    EXPECT_NEAR(static_cast<double>(g.sectorTicks(0)), 100e3, 10);
+}
+
+TEST(Geometry, LocateIsMonotoneInLba)
+{
+    Geometry g(DiskSpec::seagateSt39102());
+    std::uint64_t step = g.totalSectors() / 1000;
+    std::uint32_t prev_cyl = 0;
+    for (std::uint64_t lba = 0; lba < g.totalSectors(); lba += step) {
+        Position p = g.locate(lba);
+        EXPECT_GE(p.cylinder, prev_cyl);
+        prev_cyl = p.cylinder;
+    }
+}
+
+TEST(Geometry, RoundTripLbaReconstruction)
+{
+    DiskSpec s = tinySpec();
+    Geometry g(s);
+    // Reconstruct the LBA from the position for every sector.
+    for (std::uint64_t lba = 0; lba < g.totalSectors(); ++lba) {
+        Position p = g.locate(lba);
+        std::uint64_t zone_start_lba = p.zone == 0 ? 0 : 800;
+        std::uint32_t zone_start_cyl = p.zone == 0 ? 0 : 4;
+        std::uint32_t spt = g.sectorsPerTrack(p.zone);
+        std::uint64_t rebuilt
+            = zone_start_lba
+              + static_cast<std::uint64_t>(p.cylinder - zone_start_cyl)
+                    * s.tracksPerCylinder * spt
+              + static_cast<std::uint64_t>(p.track) * spt + p.sector;
+        ASSERT_EQ(rebuilt, lba);
+    }
+}

@@ -1,0 +1,75 @@
+/**
+ * @file Property sweep: the seek-curve fit must reproduce its three
+ * calibration anchors for arbitrary plausible drive specs, not just
+ * the two shipped presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "disk/disk_spec.hh"
+#include "disk/seek_curve.hh"
+#include "sim/ticks.hh"
+
+using namespace howsim::disk;
+using howsim::sim::toMilliseconds;
+
+namespace
+{
+
+/** (track-to-track ms x10, avg ms, max ms, cylinders). */
+using Param = std::tuple<int, int, int, int>;
+
+DiskSpec
+specFor(const Param &p)
+{
+    DiskSpec s = DiskSpec::seagateSt39102();
+    s.name = "synthetic";
+    s.trackToTrackMs = std::get<0>(p) / 10.0;
+    s.avgSeekMs = std::get<1>(p);
+    s.maxSeekMs = std::get<2>(p);
+    return s;
+}
+
+} // namespace
+
+class SeekSweep : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(SeekSweep, AnchorsReproduced)
+{
+    DiskSpec spec = specFor(GetParam());
+    auto cyls = static_cast<std::uint32_t>(std::get<3>(GetParam()));
+    SeekCurve curve(spec, cyls);
+    EXPECT_NEAR(toMilliseconds(curve.seekTicks(1)), spec.trackToTrackMs,
+                0.02);
+    EXPECT_NEAR(toMilliseconds(curve.seekTicks(cyls - 1)),
+                spec.maxSeekMs, 0.05);
+    EXPECT_NEAR(curve.meanSeekMs(), spec.avgSeekMs, 0.05);
+}
+
+TEST_P(SeekSweep, MonotoneOverFullStroke)
+{
+    DiskSpec spec = specFor(GetParam());
+    auto cyls = static_cast<std::uint32_t>(std::get<3>(GetParam()));
+    SeekCurve curve(spec, cyls);
+    howsim::sim::Tick prev = 0;
+    std::uint32_t step = std::max(cyls / 200, 1u);
+    for (std::uint32_t d = 1; d < cyls; d += step) {
+        auto t = curve.seekTicks(d);
+        ASSERT_GE(t, prev) << "distance " << d;
+        prev = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Drives, SeekSweep,
+    ::testing::Values(
+        // (t2t x10 ms, avg ms, max ms, cylinders)
+        Param{5, 4, 9, 4000},    // fast server drive
+        Param{8, 6, 13, 8000},   // mainstream
+        Param{15, 9, 20, 12000}, // slow high-capacity drive
+        Param{6, 5, 11, 6962},   // Cheetah-like
+        Param{10, 8, 16, 3000})); // few-cylinder, slow seeks

@@ -1,0 +1,243 @@
+/** @file Tests for the disklet programming model. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "diskos/disklet.hh"
+#include "sim/simulator.hh"
+
+using namespace howsim;
+using namespace howsim::diskos;
+using sim::Coro;
+
+namespace
+{
+
+/** Pass blocks through, shrinking them by a fixed factor. */
+class FilterDisklet : public Disklet
+{
+  public:
+    FilterDisklet(double keep, sim::Tick per_byte = 2)
+        : Disklet("filter"), keepFraction(keep), nsPerByte(per_byte)
+    {
+    }
+
+    Coro<void>
+    process(StreamBlock block) override
+    {
+        ++blocksSeen;
+        bytesSeen += block.bytes;
+        co_await compute(block.bytes * nsPerByte);
+        StreamBlock out;
+        out.bytes = static_cast<std::uint64_t>(
+            static_cast<double>(block.bytes) * keepFraction);
+        if (out.bytes > 0)
+            co_await emit(out);
+    }
+
+    std::uint64_t blocksSeen = 0;
+    std::uint64_t bytesSeen = 0;
+
+  private:
+    double keepFraction;
+    sim::Tick nsPerByte;
+};
+
+/** Accumulate everything; emit one summary block at the end. */
+class ReduceDisklet : public Disklet
+{
+  public:
+    explicit ReduceDisklet(std::uint64_t scratch)
+        : Disklet("reduce", scratch)
+    {
+    }
+
+    Coro<void>
+    process(StreamBlock block) override
+    {
+        total += block.bytes;
+        co_await compute(block.bytes);
+    }
+
+    Coro<void>
+    finish() override
+    {
+        co_await emit(StreamBlock{.bytes = 64, .payload = total});
+    }
+
+    std::uint64_t total = 0;
+};
+
+struct Fixture
+{
+    sim::Simulator simulator;
+    ActiveDiskArray machine;
+
+    explicit Fixture(int ndisks = 2, AdParams params = {})
+        : machine(simulator, ndisks,
+                  disk::DiskSpec::seagateSt39102(), params)
+    {
+    }
+};
+
+} // namespace
+
+TEST(Disklet, PipelineMovesEveryBlockThroughEveryStage)
+{
+    Fixture f;
+    DiskletPipeline pipe(f.machine, 0);
+    auto *filter = new FilterDisklet(1.0);
+    pipe.source(0, 4 << 20);
+    pipe.add(std::unique_ptr<Disklet>(filter));
+    pipe.sinkDiscard();
+    auto body = [&]() -> Coro<void> { co_await pipe.run(); };
+    f.simulator.spawn(body());
+    f.simulator.run();
+    EXPECT_EQ(filter->bytesSeen, 4u << 20);
+    EXPECT_EQ(filter->blocksSeen, 16u);
+    EXPECT_EQ(pipe.sinkBytes(), 4u << 20);
+    EXPECT_EQ(pipe.sinkBlocks(), 16u);
+}
+
+TEST(Disklet, FilterReducesFrontendTraffic)
+{
+    Fixture f;
+    DiskletPipeline pipe(f.machine, 0);
+    pipe.source(0, 8 << 20);
+    pipe.add(std::make_unique<FilterDisklet>(0.25));
+    pipe.sinkFrontend();
+    auto fe = [&]() -> Coro<void> {
+        // Drain until the pipeline is done (bounded by block count).
+        for (int i = 0; i < 32; ++i)
+            co_await f.machine.frontendInbox().recv();
+    };
+    auto body = [&]() -> Coro<void> { co_await pipe.run(); };
+    f.simulator.spawn(body());
+    f.simulator.spawn(fe());
+    f.simulator.run();
+    EXPECT_EQ(pipe.sinkBytes(), 2u << 20);
+    EXPECT_EQ(f.machine.interconnect().stats().bytes, 2u << 20);
+}
+
+TEST(Disklet, StagesCompose)
+{
+    // Two chained filters: 50% of 50% = 25% reaches the sink.
+    Fixture f;
+    DiskletPipeline pipe(f.machine, 0);
+    pipe.source(0, 4 << 20);
+    pipe.add(std::make_unique<FilterDisklet>(0.5));
+    pipe.add(std::make_unique<FilterDisklet>(0.5));
+    pipe.sinkDiscard();
+    auto body = [&]() -> Coro<void> { co_await pipe.run(); };
+    f.simulator.spawn(body());
+    f.simulator.run();
+    EXPECT_EQ(pipe.sinkBytes(), 1u << 20);
+}
+
+TEST(Disklet, FinishEmitsSummary)
+{
+    Fixture f;
+    DiskletPipeline pipe(f.machine, 0);
+    auto *reduce = new ReduceDisklet(1 << 20);
+    pipe.source(0, 2 << 20);
+    pipe.add(std::unique_ptr<Disklet>(reduce));
+    pipe.sinkDiscard();
+    auto body = [&]() -> Coro<void> { co_await pipe.run(); };
+    f.simulator.spawn(body());
+    f.simulator.run();
+    EXPECT_EQ(reduce->total, 2u << 20);
+    EXPECT_EQ(pipe.sinkBlocks(), 1u); // only the summary
+    EXPECT_EQ(pipe.sinkBytes(), 64u);
+}
+
+TEST(Disklet, PeerSinkDeliversToNeighbourInbox)
+{
+    Fixture f;
+    DiskletPipeline pipe(f.machine, 0);
+    pipe.source(0, 1 << 20);
+    pipe.add(std::make_unique<FilterDisklet>(1.0));
+    pipe.sinkPeer(1);
+    std::uint64_t received = 0;
+    auto peer = [&]() -> Coro<void> {
+        for (int i = 0; i < 4; ++i) {
+            auto blk = co_await f.machine.inbox(1).recv();
+            received += blk->bytes;
+        }
+    };
+    auto body = [&]() -> Coro<void> { co_await pipe.run(); };
+    f.simulator.spawn(body());
+    f.simulator.spawn(peer());
+    f.simulator.run();
+    EXPECT_EQ(received, 1u << 20);
+}
+
+TEST(Disklet, MediaSinkWritesBack)
+{
+    Fixture f;
+    DiskletPipeline pipe(f.machine, 0);
+    pipe.source(0, 1 << 20);
+    pipe.add(std::make_unique<FilterDisklet>(0.5));
+    pipe.sinkMedia(1ull << 30);
+    auto body = [&]() -> Coro<void> { co_await pipe.run(); };
+    f.simulator.spawn(body());
+    f.simulator.run();
+    EXPECT_EQ(f.machine.drive(0).stats().bytesWritten, 512u * 1024);
+}
+
+TEST(Disklet, ComputeTimeScalesWithCpuClock)
+{
+    auto run_with_mhz = [](double mhz) {
+        AdParams params;
+        params.cpuMhz = mhz;
+        Fixture f(2, params);
+        DiskletPipeline pipe(f.machine, 0);
+        // Heavy per-byte compute so the CPU dominates the media.
+        pipe.source(0, 2 << 20);
+        pipe.add(std::make_unique<FilterDisklet>(1.0, 200));
+        pipe.sinkDiscard();
+        auto body = [&]() -> Coro<void> { co_await pipe.run(); };
+        f.simulator.spawn(body());
+        f.simulator.run();
+        return sim::toSeconds(f.simulator.now());
+    };
+    double slow = run_with_mhz(100);
+    double fast = run_with_mhz(400);
+    EXPECT_NEAR(slow / fast, 4.0, 0.6);
+}
+
+TEST(Disklet, ScratchBudgetEnforced)
+{
+    EXPECT_DEATH(
+        {
+            Fixture f;
+            DiskletPipeline pipe(f.machine, 0);
+            pipe.source(0, 1 << 20);
+            // Requests far more scratch than the 32 MB drive memory.
+            pipe.add(std::make_unique<ReduceDisklet>(256ull << 20));
+            pipe.sinkDiscard();
+            auto body = [&]() -> Coro<void> { co_await pipe.run(); };
+            f.simulator.spawn(body());
+            f.simulator.run();
+        },
+        "exceed");
+}
+
+TEST(Disklet, RewiringAfterRunPanics)
+{
+    EXPECT_DEATH(
+        {
+            Fixture f;
+            DiskletPipeline pipe(f.machine, 0);
+            pipe.source(0, 1 << 20);
+            pipe.add(std::make_unique<FilterDisklet>(1.0));
+            pipe.sinkDiscard();
+            auto body = [&]() -> Coro<void> {
+                co_await pipe.run();
+            };
+            f.simulator.spawn(body());
+            f.simulator.run();
+            pipe.add(std::make_unique<FilterDisklet>(1.0));
+        },
+        "fixed");
+}

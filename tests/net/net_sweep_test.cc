@@ -1,0 +1,79 @@
+/**
+ * @file Property sweep over message sizes and host counts: transport
+ * time must track size/rate, and the fabric must conserve bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "net/network.hh"
+#include "sim/simulator.hh"
+
+using namespace howsim::net;
+using namespace howsim::sim;
+
+namespace
+{
+
+using Param = std::tuple<int, std::uint64_t>; // hosts, message bytes
+
+double
+oneTransferSeconds(int hosts, std::uint64_t bytes)
+{
+    Simulator sim;
+    Network net(sim, hosts);
+    Tick done = 0;
+    auto body = [&]() -> Coro<void> {
+        co_await net.transport(0, hosts - 1, bytes);
+        done = Simulator::current()->now();
+    };
+    sim.spawn(body());
+    sim.run();
+    return toSeconds(done);
+}
+
+} // namespace
+
+class NetSweep : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(NetSweep, TimeBoundedByWireAndPipeline)
+{
+    auto [hosts, bytes] = GetParam();
+    double secs = oneTransferSeconds(hosts, bytes);
+    NetParams p;
+    double wire = static_cast<double>(bytes) / p.hostLinkRate;
+    // Lower bound: the sender's link. Upper bound: wire time plus
+    // one frame of store-and-forward tail per hop stage (up to 4
+    // stages cross-switch) plus latencies.
+    double frame_tail = static_cast<double>(p.frameBytes)
+                        / p.hostLinkRate;
+    EXPECT_GE(secs, wire * 0.99);
+    EXPECT_LE(secs, wire + 4 * frame_tail + 1e-3);
+}
+
+TEST_P(NetSweep, BytesConserved)
+{
+    auto [hosts, bytes] = GetParam();
+    Simulator sim;
+    Network net(sim, hosts);
+    auto body = [&]() -> Coro<void> {
+        co_await net.transport(0, hosts - 1, bytes);
+        co_await net.transport(hosts - 1, 0, bytes);
+    };
+    sim.spawn(body());
+    sim.run();
+    EXPECT_EQ(net.totalBytes(), 2 * bytes);
+    EXPECT_EQ(net.traffic(0).bytesSent, bytes);
+    EXPECT_EQ(net.traffic(0).bytesReceived, bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NetSweep,
+    ::testing::Combine(::testing::Values(2, 16, 33),
+                       ::testing::Values(std::uint64_t(1000),
+                                         std::uint64_t(64 * 1024),
+                                         std::uint64_t(1 << 20),
+                                         std::uint64_t(16u << 20))));

@@ -1,0 +1,172 @@
+/** @file Tests for the switched-network transport model. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hh"
+#include "sim/simulator.hh"
+
+using namespace howsim::net;
+using namespace howsim::sim;
+
+TEST(Network, PointToPointTimeMatchesLinkRate)
+{
+    Simulator sim;
+    Network net(sim, 4);
+    Tick done = 0;
+    auto body = [&]() -> Coro<void> {
+        co_await net.transport(0, 1, 1250000); // 0.1 s at 12.5 MB/s
+        done = Simulator::current()->now();
+    };
+    sim.spawn(body());
+    sim.run();
+    // Pipelined frames: ~bytes/rate + one frame's extra hop/serialize.
+    EXPECT_NEAR(toSeconds(done), 0.1, 0.01);
+}
+
+TEST(Network, FramesPipelineAcrossStages)
+{
+    // If tx and rx were fully serialized per message the transfer
+    // would take 2x bytes/rate; pipelining keeps it near 1x.
+    Simulator sim;
+    Network net(sim, 4);
+    Tick done = 0;
+    auto body = [&]() -> Coro<void> {
+        co_await net.transport(0, 1, 12500000); // 1 s at link rate
+        done = Simulator::current()->now();
+    };
+    sim.spawn(body());
+    sim.run();
+    EXPECT_LT(toSeconds(done), 1.1);
+    EXPECT_GT(toSeconds(done), 0.99);
+}
+
+TEST(Network, LoopbackIsFree)
+{
+    Simulator sim;
+    Network net(sim, 2);
+    Tick done = maxTick;
+    auto body = [&]() -> Coro<void> {
+        co_await net.transport(1, 1, 1000000);
+        done = Simulator::current()->now();
+    };
+    sim.spawn(body());
+    sim.run();
+    EXPECT_EQ(done, 0u);
+}
+
+TEST(Network, EndpointCongestionCapsFanIn)
+{
+    // Eight senders to one receiver: aggregate throughput is capped
+    // by the receiver's 12.5 MB/s link.
+    Simulator sim;
+    Network net(sim, 9);
+    const std::uint64_t each = 1250000; // 0.1 s alone
+    Tick done = 0;
+    int remaining = 8;
+    auto body = [&](int src) -> Coro<void> {
+        co_await net.transport(src, 8, each);
+        if (--remaining == 0)
+            done = Simulator::current()->now();
+    };
+    for (int src = 0; src < 8; ++src)
+        sim.spawn(body(src));
+    sim.run();
+    EXPECT_NEAR(toSeconds(done), 0.8, 0.05);
+}
+
+TEST(Network, DisjointPairsRunInParallel)
+{
+    // Four disjoint same-switch pairs move data concurrently; total
+    // time stays near the single-pair time.
+    Simulator sim;
+    Network net(sim, 8);
+    const std::uint64_t each = 1250000;
+    Tick done = 0;
+    int remaining = 4;
+    auto body = [&](int src, int dst) -> Coro<void> {
+        co_await net.transport(src, dst, each);
+        if (--remaining == 0)
+            done = Simulator::current()->now();
+    };
+    for (int i = 0; i < 4; ++i)
+        sim.spawn(body(i, i + 4));
+    sim.run();
+    EXPECT_NEAR(toSeconds(done), 0.1, 0.02);
+}
+
+TEST(Network, CrossSwitchTrafficSharesUplinks)
+{
+    // 32 hosts = 2 edge switches. All 16 hosts of switch 0 send to
+    // distinct peers on switch 1: per-host link traffic would allow
+    // 0.1 s, but 16 * 12.5 = 200 MB/s exceeds the 250 MB/s uplink
+    // only slightly, so time should stay near 0.1 s -- the fabric
+    // is provisioned to scale bisection with the host count.
+    Simulator sim;
+    Network net(sim, 32);
+    EXPECT_EQ(net.switchCount(), 2);
+    const std::uint64_t each = 1250000;
+    Tick done = 0;
+    int remaining = 16;
+    auto body = [&](int src) -> Coro<void> {
+        co_await net.transport(src, 16 + src, each);
+        if (--remaining == 0)
+            done = Simulator::current()->now();
+    };
+    for (int src = 0; src < 16; ++src)
+        sim.spawn(body(src));
+    sim.run();
+    EXPECT_LT(toSeconds(done), 0.15);
+}
+
+TEST(Network, SingleSwitchHasNoUplinkStage)
+{
+    Simulator sim;
+    Network net(sim, 16);
+    EXPECT_EQ(net.switchCount(), 1);
+    Tick done = 0;
+    auto body = [&]() -> Coro<void> {
+        co_await net.transport(0, 15, 125000); // 10 ms on the wire
+        done = Simulator::current()->now();
+    };
+    sim.spawn(body());
+    sim.run();
+    // Store-and-forward adds up to one frame of rx tail time
+    // (64 KB / 12.5 MB/s = 5.2 ms) plus hop latency.
+    EXPECT_GT(toMilliseconds(done), 10.0);
+    EXPECT_LT(toMilliseconds(done), 16.0);
+}
+
+TEST(Network, TrafficCountersTrackEndpoints)
+{
+    Simulator sim;
+    Network net(sim, 4);
+    auto body = [&]() -> Coro<void> {
+        co_await net.transport(2, 3, 5000);
+        co_await net.transport(2, 1, 7000);
+    };
+    sim.spawn(body());
+    sim.run();
+    EXPECT_EQ(net.traffic(2).bytesSent, 12000u);
+    EXPECT_EQ(net.traffic(3).bytesReceived, 5000u);
+    EXPECT_EQ(net.traffic(1).bytesReceived, 7000u);
+    EXPECT_EQ(net.totalBytes(), 12000u);
+}
+
+TEST(Network, ManySmallMessagesComplete)
+{
+    Simulator sim;
+    Network net(sim, 8);
+    int done_count = 0;
+    auto body = [&](int src) -> Coro<void> {
+        for (int i = 0; i < 50; ++i)
+            co_await net.transport(src, (src + 1) % 8, 1000);
+        ++done_count;
+    };
+    for (int src = 0; src < 8; ++src)
+        sim.spawn(body(src));
+    sim.run();
+    EXPECT_EQ(done_count, 8);
+    EXPECT_EQ(net.totalBytes(), 8u * 50 * 1000);
+}

@@ -1,0 +1,271 @@
+/** @file Unit tests for bounded channels. */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/awaitables.hh"
+#include "sim/channel.hh"
+#include "sim/coro.hh"
+#include "sim/simulator.hh"
+
+using namespace howsim::sim;
+
+TEST(Channel, BufferedSendDoesNotBlock)
+{
+    Simulator sim;
+    Channel<int> ch(4);
+    Tick send_done = 0;
+    auto sender = [&]() -> Coro<void> {
+        for (int i = 0; i < 4; ++i)
+            co_await ch.send(i);
+        send_done = Simulator::current()->now();
+    };
+    sim.spawn(sender());
+    sim.run();
+    EXPECT_EQ(send_done, 0u);
+    EXPECT_EQ(ch.size(), 4u);
+}
+
+TEST(Channel, SendBlocksWhenFull)
+{
+    Simulator sim;
+    Channel<int> ch(2);
+    std::vector<int> received;
+    auto sender = [&]() -> Coro<void> {
+        for (int i = 0; i < 5; ++i)
+            co_await ch.send(i);
+    };
+    auto receiver = [&]() -> Coro<void> {
+        for (int i = 0; i < 5; ++i) {
+            co_await delay(100);
+            auto v = co_await ch.recv();
+            received.push_back(*v);
+        }
+    };
+    sim.spawn(sender());
+    sim.spawn(receiver());
+    sim.run();
+    EXPECT_EQ(received, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, RecvBlocksUntilSend)
+{
+    Simulator sim;
+    Channel<std::string> ch(1);
+    Tick recv_time = 0;
+    std::string got;
+    auto receiver = [&]() -> Coro<void> {
+        auto v = co_await ch.recv();
+        got = *v;
+        recv_time = Simulator::current()->now();
+    };
+    auto sender = [&]() -> Coro<void> {
+        co_await delay(750);
+        co_await ch.send(std::string("hello"));
+    };
+    sim.spawn(receiver());
+    sim.spawn(sender());
+    sim.run();
+    EXPECT_EQ(got, "hello");
+    EXPECT_EQ(recv_time, 750u);
+}
+
+TEST(Channel, RendezvousBlocksSenderUntilReceiver)
+{
+    Simulator sim;
+    Channel<int> ch(0);
+    Tick send_done = 0;
+    auto sender = [&]() -> Coro<void> {
+        co_await ch.send(42);
+        send_done = Simulator::current()->now();
+    };
+    auto receiver = [&]() -> Coro<void> {
+        co_await delay(300);
+        auto v = co_await ch.recv();
+        EXPECT_EQ(*v, 42);
+    };
+    sim.spawn(sender());
+    sim.spawn(receiver());
+    sim.run();
+    EXPECT_EQ(send_done, 300u);
+}
+
+TEST(Channel, FifoOrderPreservedAcrossBlocking)
+{
+    Simulator sim;
+    Channel<int> ch(1);
+    std::vector<int> received;
+    auto sender = [&](int base) -> Coro<void> {
+        for (int i = 0; i < 3; ++i)
+            co_await ch.send(base + i);
+    };
+    auto receiver = [&]() -> Coro<void> {
+        for (int i = 0; i < 6; ++i) {
+            auto v = co_await ch.recv();
+            received.push_back(*v);
+            co_await delay(10);
+        }
+    };
+    sim.spawn(sender(0));
+    sim.spawn(sender(100));
+    sim.spawn(receiver());
+    sim.run();
+    ASSERT_EQ(received.size(), 6u);
+    // Per-sender order must be preserved.
+    std::vector<int> a, b;
+    for (int v : received)
+        (v < 100 ? a : b).push_back(v);
+    EXPECT_EQ(a, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(b, (std::vector<int>{100, 101, 102}));
+}
+
+TEST(Channel, CloseWakesBlockedReceiversWithNullopt)
+{
+    Simulator sim;
+    Channel<int> ch(1);
+    int nullopts = 0;
+    auto receiver = [&]() -> Coro<void> {
+        auto v = co_await ch.recv();
+        if (!v)
+            ++nullopts;
+    };
+    sim.spawn(receiver());
+    sim.spawn(receiver());
+    auto closer = [&]() -> Coro<void> {
+        co_await delay(50);
+        ch.close();
+        co_return;
+    };
+    sim.spawn(closer());
+    sim.run();
+    EXPECT_EQ(nullopts, 2);
+}
+
+TEST(Channel, RecvDrainsBufferAfterClose)
+{
+    Simulator sim;
+    Channel<int> ch(8);
+    std::vector<int> got;
+    bool saw_end = false;
+    auto producer = [&]() -> Coro<void> {
+        for (int i = 0; i < 3; ++i)
+            co_await ch.send(i);
+        ch.close();
+    };
+    auto consumer = [&]() -> Coro<void> {
+        co_await delay(100);
+        for (;;) {
+            auto v = co_await ch.recv();
+            if (!v) {
+                saw_end = true;
+                break;
+            }
+            got.push_back(*v);
+        }
+    };
+    sim.spawn(producer());
+    sim.spawn(consumer());
+    sim.run();
+    EXPECT_EQ(got, (std::vector<int>{0, 1, 2}));
+    EXPECT_TRUE(saw_end);
+}
+
+TEST(Channel, SendOnClosedChannelThrows)
+{
+    Simulator sim;
+    Channel<int> ch(1);
+    bool threw = false;
+    auto body = [&]() -> Coro<void> {
+        ch.close();
+        try {
+            co_await ch.send(1);
+        } catch (const ChannelClosed &) {
+            threw = true;
+        }
+    };
+    sim.spawn(body());
+    sim.run();
+    EXPECT_TRUE(threw);
+}
+
+TEST(Channel, CloseFailsBlockedSenders)
+{
+    Simulator sim;
+    Channel<int> ch(1);
+    bool threw = false;
+    auto sender = [&]() -> Coro<void> {
+        co_await ch.send(1); // fills buffer
+        try {
+            co_await ch.send(2); // blocks
+        } catch (const ChannelClosed &) {
+            threw = true;
+        }
+    };
+    auto closer = [&]() -> Coro<void> {
+        co_await delay(10);
+        ch.close();
+        co_return;
+    };
+    sim.spawn(sender());
+    sim.spawn(closer());
+    sim.run();
+    EXPECT_TRUE(threw);
+}
+
+TEST(Channel, PipelineConservesAllItems)
+{
+    Simulator sim;
+    Channel<int> stage1(2), stage2(2);
+    const int n = 500;
+    long long sum_out = 0;
+    auto source = [&]() -> Coro<void> {
+        for (int i = 1; i <= n; ++i)
+            co_await stage1.send(i);
+        stage1.close();
+    };
+    auto filter = [&]() -> Coro<void> {
+        for (;;) {
+            auto v = co_await stage1.recv();
+            if (!v)
+                break;
+            co_await delay(3);
+            co_await stage2.send(*v * 2);
+        }
+        stage2.close();
+    };
+    auto sink = [&]() -> Coro<void> {
+        for (;;) {
+            auto v = co_await stage2.recv();
+            if (!v)
+                break;
+            sum_out += *v;
+        }
+    };
+    sim.spawn(source());
+    sim.spawn(filter());
+    sim.spawn(sink());
+    sim.run();
+    EXPECT_EQ(sum_out, 2LL * n * (n + 1) / 2);
+}
+
+TEST(Channel, BlockedCountsVisible)
+{
+    Simulator sim;
+    Channel<int> ch(1);
+    auto receiver = [&]() -> Coro<void> {
+        auto v = co_await ch.recv();
+        (void)v;
+    };
+    sim.spawn(receiver());
+    auto checker = [&]() -> Coro<void> {
+        co_await delay(5);
+        EXPECT_EQ(ch.blockedReceivers(), 1u);
+        co_await ch.send(9);
+    };
+    sim.spawn(checker());
+    sim.run();
+    EXPECT_EQ(ch.blockedReceivers(), 0u);
+}

@@ -1,0 +1,99 @@
+/** @file Unit tests for the discrete-event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace howsim::sim;
+
+TEST(EventQueue, StartsEmpty)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.pop()();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickRunsInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.pop()();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTickReportsEarliest)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.schedule(7, [] {});
+    EXPECT_EQ(q.nextTick(), 7u);
+    q.pop();
+    EXPECT_EQ(q.nextTick(), 100u);
+}
+
+TEST(EventQueue, InterleavedScheduleAndPop)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1, [&] { order.push_back(1); });
+    q.pop()();
+    q.schedule(2, [&] { order.push_back(2); });
+    q.schedule(1, [&] { order.push_back(3); });
+    // Later-scheduled tick-1 event still sorts before tick-2.
+    EXPECT_EQ(q.nextTick(), 1u);
+    while (!q.empty())
+        q.pop()();
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(EventQueue, CountsScheduledEvents)
+{
+    EventQueue q;
+    for (int i = 0; i < 42; ++i)
+        q.schedule(static_cast<Tick>(i), [] {});
+    EXPECT_EQ(q.scheduledCount(), 42u);
+}
+
+TEST(Ticks, UnitConversions)
+{
+    EXPECT_EQ(microseconds(1), 1000u);
+    EXPECT_EQ(milliseconds(1), 1000000u);
+    EXPECT_EQ(seconds(1), 1000000000u);
+    EXPECT_DOUBLE_EQ(toSeconds(seconds(3)), 3.0);
+    EXPECT_DOUBLE_EQ(toMilliseconds(milliseconds(5)), 5.0);
+    EXPECT_DOUBLE_EQ(toMicroseconds(microseconds(9)), 9.0);
+}
+
+TEST(Ticks, FromSecondsRoundsAndClamps)
+{
+    EXPECT_EQ(fromSeconds(1.5e-9), 2u);
+    EXPECT_EQ(fromSeconds(-1.0), 0u);
+    EXPECT_EQ(fromSeconds(2.0), seconds(2));
+}
+
+TEST(Ticks, TransferTicksNeverZeroForNonzeroBytes)
+{
+    EXPECT_EQ(transferTicks(0, 100e6), 0u);
+    EXPECT_GE(transferTicks(1, 1e12), 1u);
+    // 1 MB over 100 MB/s = 10 ms.
+    EXPECT_NEAR(static_cast<double>(transferTicks(1000000, 100e6)),
+                static_cast<double>(milliseconds(10)), 1.0);
+}

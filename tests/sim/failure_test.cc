@@ -1,0 +1,144 @@
+/**
+ * @file Failure-injection tests: model bugs must be caught loudly,
+ * and recoverable failures must propagate as exceptions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/awaitables.hh"
+#include "sim/channel.hh"
+#include "sim/coro.hh"
+#include "sim/resource.hh"
+#include "sim/simulator.hh"
+
+using namespace howsim::sim;
+
+TEST(FailureInjection, ResourceOverReleasePanics)
+{
+    EXPECT_DEATH(
+        {
+            Simulator sim;
+            Resource res(2);
+            res.release(1);
+        },
+        "over-release");
+}
+
+TEST(FailureInjection, OversizedAcquirePanics)
+{
+    EXPECT_DEATH(
+        {
+            Simulator sim;
+            Resource res(2);
+            auto body = [&]() -> Coro<void> { co_await res.acquire(5); };
+            sim.spawn(body());
+            sim.run();
+        },
+        "acquire");
+}
+
+TEST(FailureInjection, SchedulingInThePastPanics)
+{
+    EXPECT_DEATH(
+        {
+            Simulator sim;
+            sim.scheduleAt(100, [&] { sim.scheduleAt(50, [] {}); });
+            sim.run();
+        },
+        "past");
+}
+
+TEST(FailureInjection, MidStreamProducerFailureReachesConsumer)
+{
+    // A producer dies mid-stream; the consumer sees the channel
+    // close (via the producer's frame unwinding) and the error
+    // surfaces from run().
+    Simulator sim;
+    Channel<int> ch(2);
+    auto producer = [&]() -> Coro<void> {
+        co_await ch.send(1);
+        co_await ch.send(2);
+        throw std::runtime_error("producer died");
+    };
+    int received = 0;
+    auto consumer = [&]() -> Coro<void> {
+        for (;;) {
+            auto v = co_await ch.recv();
+            if (!v)
+                break;
+            ++received;
+            co_await delay(1000);
+        }
+    };
+    sim.spawn(producer());
+    sim.spawn(consumer());
+    EXPECT_THROW(sim.run(), std::runtime_error);
+    // The consumer got the buffered values before the failure.
+    EXPECT_GE(received, 0);
+}
+
+TEST(FailureInjection, DetachedFailureSurfacesFromRun)
+{
+    Simulator sim;
+    auto failing = [&]() -> Coro<void> {
+        co_await delay(5);
+        throw std::logic_error("detached failure");
+    };
+    sim.spawnDetached(failing());
+    EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(FailureInjection, SupervisorCanRetryFailedWorker)
+{
+    // A supervisor pattern: retry a flaky operation a bounded number
+    // of times, observing each failure via join().
+    Simulator sim;
+    int attempts = 0;
+    bool succeeded = false;
+    auto flaky = [&]() -> Coro<void> {
+        ++attempts;
+        co_await delay(10);
+        if (attempts < 3)
+            throw std::runtime_error("flaky");
+    };
+    auto supervisor = [&]() -> Coro<void> {
+        for (int tries = 0; tries < 5 && !succeeded; ++tries) {
+            auto worker = Simulator::current()->spawn(flaky());
+            try {
+                co_await worker->join();
+                succeeded = true;
+            } catch (const std::runtime_error &) {
+            }
+        }
+    };
+    sim.spawn(supervisor());
+    sim.run();
+    EXPECT_TRUE(succeeded);
+    EXPECT_EQ(attempts, 3);
+}
+
+TEST(FailureInjection, ChannelCloseDuringBlockedSendIsAnError)
+{
+    Simulator sim;
+    Channel<int> ch(1);
+    bool observed = false;
+    auto sender = [&]() -> Coro<void> {
+        co_await ch.send(1);
+        try {
+            co_await ch.send(2); // blocks; channel closes under it
+        } catch (const ChannelClosed &) {
+            observed = true;
+        }
+    };
+    auto closer = [&]() -> Coro<void> {
+        co_await delay(100);
+        ch.close();
+        co_return;
+    };
+    sim.spawn(sender());
+    sim.spawn(closer());
+    sim.run();
+    EXPECT_TRUE(observed);
+}

@@ -1,0 +1,134 @@
+/** @file Unit and property tests for the PRNG and distributions. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "sim/random.hh"
+
+using namespace howsim::sim;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(17);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.below(10));
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng rng(19);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng rng(23);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (rng.chance(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(29);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Zipf, UniformWhenThetaZero)
+{
+    Rng rng(31);
+    Rng::Zipf z(10, 0.0);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[z.draw(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+}
+
+TEST(Zipf, SkewFavorsLowRanks)
+{
+    Rng rng(37);
+    Rng::Zipf z(1000, 1.0);
+    std::vector<int> counts(1000, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[z.draw(rng)];
+    EXPECT_GT(counts[0], counts[9]);
+    EXPECT_GT(counts[9], counts[99]);
+    // Rank-0 frequency for theta=1 over n=1000 is 1/H(1000) ~ 0.133.
+    EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.133, 0.02);
+}
+
+TEST(Zipf, DrawsWithinDomain)
+{
+    Rng rng(41);
+    Rng::Zipf z(5, 0.8);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(z.draw(rng), 5u);
+}

@@ -1,0 +1,68 @@
+/** @file Unit tests for statistics containers. */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+using namespace howsim::sim;
+
+TEST(Breakdown, AccumulatesNamedBuckets)
+{
+    Breakdown b;
+    b.add("seek", 1.5);
+    b.add("seek", 0.5);
+    b.add("rotate", 3.0);
+    EXPECT_DOUBLE_EQ(b.get("seek"), 2.0);
+    EXPECT_DOUBLE_EQ(b.get("rotate"), 3.0);
+    EXPECT_DOUBLE_EQ(b.get("missing"), 0.0);
+    EXPECT_DOUBLE_EQ(b.total(), 5.0);
+}
+
+TEST(Breakdown, MergeCombines)
+{
+    Breakdown a, b;
+    a.add("x", 1.0);
+    b.add("x", 2.0);
+    b.add("y", 4.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 3.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 4.0);
+}
+
+TEST(Breakdown, ClearEmpties)
+{
+    Breakdown b;
+    b.add("x", 1.0);
+    b.clear();
+    EXPECT_DOUBLE_EQ(b.total(), 0.0);
+    EXPECT_TRUE(b.all().empty());
+}
+
+TEST(BusyTracker, IdleIsComplementOfBusy)
+{
+    BusyTracker t;
+    t.markBusy(300);
+    t.markBusy(200);
+    EXPECT_EQ(t.busyTicks(), 500u);
+    EXPECT_EQ(t.idleTicks(800), 300u);
+    // Busy exceeding the window clamps to zero idle.
+    EXPECT_EQ(t.idleTicks(400), 0u);
+}
+
+TEST(Summary, TracksMinMaxMean)
+{
+    Summary s;
+    for (double v : {4.0, 1.0, 7.0, 2.0})
+        s.sample(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+}
+
+TEST(Summary, EmptyIsSafe)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}

@@ -1,0 +1,62 @@
+/**
+ * @file Parameterized scaling properties: every task on every
+ * architecture must get no slower when the machine doubles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/experiment.hh"
+
+using namespace howsim;
+using core::Arch;
+using core::ExperimentConfig;
+using workload::TaskKind;
+
+namespace
+{
+
+using Param = std::tuple<int, int>; // (arch index, task index)
+
+double
+timeAt(Arch arch, TaskKind task, int scale)
+{
+    ExperimentConfig config;
+    config.arch = arch;
+    config.task = task;
+    config.scale = scale;
+    return core::runExperiment(config).seconds();
+}
+
+} // namespace
+
+class ScalingSweep : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(ScalingSweep, DoublingTheMachineNeverHurts)
+{
+    auto [arch_idx, task_idx] = GetParam();
+    Arch arch = static_cast<Arch>(arch_idx);
+    TaskKind task = workload::allTasks[static_cast<std::size_t>(
+        task_idx)];
+    double t8 = timeAt(arch, task, 8);
+    double t16 = timeAt(arch, task, 16);
+    // Allow 5% noise for tasks already pinned on a shared resource.
+    EXPECT_LE(t16, t8 * 1.05)
+        << core::archName(arch) << "/" << workload::taskName(task);
+    EXPECT_GT(t16, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArchTask, ScalingSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(0, 1, 2, 5, 7)),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        Arch arch = static_cast<Arch>(std::get<0>(info.param));
+        TaskKind task = howsim::workload::allTasks
+            [static_cast<std::size_t>(std::get<1>(info.param))];
+        return howsim::core::archName(arch) + "_"
+               + howsim::workload::taskName(task);
+    });

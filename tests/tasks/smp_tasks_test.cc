@@ -1,0 +1,94 @@
+/** @file Integration tests for the SMP task suite. */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "smp/smp_machine.hh"
+#include "tasks/smp_tasks.hh"
+#include "workload/dataset.hh"
+
+using namespace howsim;
+using workload::DatasetSpec;
+using workload::TaskKind;
+
+namespace
+{
+
+tasks::TaskResult
+runSmp(TaskKind kind, int scale, smp::SmpParams params = {})
+{
+    sim::Simulator simulator;
+    smp::SmpMachine machine(simulator, scale, scale,
+                            disk::DiskSpec::seagateSt39102(), params);
+    tasks::SmpTaskRunner runner(simulator, machine);
+    return runner.run(kind, DatasetSpec::forTask(kind));
+}
+
+} // namespace
+
+TEST(SmpTasks, AllTasksRunToCompletion)
+{
+    for (auto kind : workload::allTasks) {
+        auto result = runSmp(kind, 8);
+        EXPECT_GT(result.seconds(), 1.0) << workload::taskName(kind);
+        EXPECT_LT(result.seconds(), 5000.0)
+            << workload::taskName(kind);
+    }
+}
+
+TEST(SmpTasks, ScanPushesWholeDatasetOverTheFc)
+{
+    auto result = runSmp(TaskKind::Select, 8);
+    auto data = DatasetSpec::forTask(TaskKind::Select);
+    EXPECT_GT(static_cast<double>(result.interconnectBytes),
+              static_cast<double>(data.inputBytes) * 0.99);
+}
+
+TEST(SmpTasks, ScansStopScalingOnceFcBound)
+{
+    // The shared 200 MB/s FC is the bottleneck: 16 -> 32 processors
+    // barely helps (the paper's central SMP observation).
+    double t16 = runSmp(TaskKind::Select, 16).seconds();
+    double t32 = runSmp(TaskKind::Select, 32).seconds();
+    EXPECT_NEAR(t32 / t16, 1.0, 0.1);
+}
+
+TEST(SmpTasks, FasterFcRestoresScaling)
+{
+    smp::SmpParams fast;
+    fast.fcRate = 400e6;
+    double base = runSmp(TaskKind::Select, 32).seconds();
+    double doubled = runSmp(TaskKind::Select, 32, fast).seconds();
+    EXPECT_NEAR(base / doubled, 2.0, 0.25);
+}
+
+TEST(SmpTasks, SortCrossesFcFourTimes)
+{
+    auto result = runSmp(TaskKind::Sort, 8);
+    auto data = DatasetSpec::forTask(TaskKind::Sort);
+    // read + write runs + read runs + write output = 4x dataset.
+    double expected = 4.0 * static_cast<double>(data.inputBytes);
+    EXPECT_GT(static_cast<double>(result.interconnectBytes),
+              expected * 0.95);
+    EXPECT_LT(static_cast<double>(result.interconnectBytes),
+              expected * 1.05);
+}
+
+TEST(SmpTasks, DatacubeSingleScanWhenTablesFitInMemory)
+{
+    // 64 processors -> 4 GB > 3 GB of tables: one pass over the
+    // base data; interconnect carries it once.
+    auto result = runSmp(TaskKind::Datacube, 64);
+    auto data = DatasetSpec::forTask(TaskKind::Datacube);
+    EXPECT_LT(static_cast<double>(result.interconnectBytes),
+              static_cast<double>(data.inputBytes) * 1.05);
+}
+
+TEST(SmpTasks, DatacubeMultiPassWhenMemoryTight)
+{
+    // 16 processors -> 1 GB: several base-data passes.
+    auto result = runSmp(TaskKind::Datacube, 16);
+    auto data = DatasetSpec::forTask(TaskKind::Datacube);
+    EXPECT_GT(static_cast<double>(result.interconnectBytes),
+              static_cast<double>(data.inputBytes) * 1.9);
+}

@@ -1,0 +1,97 @@
+/** @file Tests that dataset descriptors reproduce Table 2. */
+
+#include <gtest/gtest.h>
+
+#include "workload/dataset.hh"
+
+using namespace howsim::workload;
+
+namespace
+{
+
+constexpr std::uint64_t kGb = 1ull << 30;
+
+} // namespace
+
+TEST(Dataset, SelectMatchesTable2)
+{
+    auto d = DatasetSpec::forTask(TaskKind::Select);
+    EXPECT_EQ(d.tupleCount, 268'000'000u);
+    EXPECT_EQ(d.tupleBytes, 64u);
+    EXPECT_DOUBLE_EQ(d.selectivity, 0.01);
+    // ~16 GB.
+    EXPECT_NEAR(static_cast<double>(d.inputBytes) / kGb, 16.0, 0.5);
+}
+
+TEST(Dataset, AggregateSharesSelectShape)
+{
+    auto d = DatasetSpec::forTask(TaskKind::Aggregate);
+    EXPECT_EQ(d.tupleCount, 268'000'000u);
+    EXPECT_EQ(d.tupleBytes, 64u);
+}
+
+TEST(Dataset, GroupByDistinct)
+{
+    auto d = DatasetSpec::forTask(TaskKind::GroupBy);
+    EXPECT_EQ(d.distinctGroups, 13'500'000u);
+}
+
+TEST(Dataset, SortIs16GbOf100ByteTuples)
+{
+    auto d = DatasetSpec::forTask(TaskKind::Sort);
+    EXPECT_EQ(d.inputBytes, 16 * kGb);
+    EXPECT_EQ(d.tupleBytes, 100u);
+    EXPECT_EQ(d.keyBytes, 10u);
+}
+
+TEST(Dataset, DatacubeIs536MTuples)
+{
+    auto d = DatasetSpec::forTask(TaskKind::Datacube);
+    EXPECT_EQ(d.tupleCount, 536'000'000u);
+    EXPECT_EQ(d.tupleBytes, 32u);
+    EXPECT_NEAR(static_cast<double>(d.inputBytes) / kGb, 16.0, 0.5);
+}
+
+TEST(Dataset, JoinIs32GbProjectedToHalf)
+{
+    auto d = DatasetSpec::forTask(TaskKind::Join);
+    EXPECT_EQ(d.inputBytes, 32 * kGb);
+    EXPECT_EQ(d.tupleBytes, 64u);
+    EXPECT_EQ(d.keyBytes, 4u);
+    EXPECT_EQ(d.projectedTupleBytes, 32u);
+}
+
+TEST(Dataset, DmineMatchesTable2)
+{
+    auto d = DatasetSpec::forTask(TaskKind::Dmine);
+    EXPECT_EQ(d.transactions, 300'000'000u);
+    EXPECT_EQ(d.itemDomain, 1'000'000u);
+    EXPECT_DOUBLE_EQ(d.avgItemsPerTxn, 4.0);
+    EXPECT_DOUBLE_EQ(d.minSupport, 0.001);
+}
+
+TEST(Dataset, MviewSizes)
+{
+    auto d = DatasetSpec::forTask(TaskKind::Mview);
+    EXPECT_EQ(d.inputBytes, 15 * kGb);
+    EXPECT_EQ(d.derivedBytes, 4 * kGb);
+    EXPECT_EQ(d.deltaBytes, 1 * kGb);
+}
+
+TEST(Dataset, DescribeMentionsKeyFigures)
+{
+    auto sel = DatasetSpec::forTask(TaskKind::Select).describe();
+    EXPECT_NE(sel.find("268 million"), std::string::npos);
+    EXPECT_NE(sel.find("1%"), std::string::npos);
+    auto dm = DatasetSpec::forTask(TaskKind::Dmine).describe();
+    EXPECT_NE(dm.find("300 million"), std::string::npos);
+}
+
+TEST(Dataset, AllTasksHaveData)
+{
+    for (auto kind : allTasks) {
+        auto d = DatasetSpec::forTask(kind);
+        EXPECT_GT(d.inputBytes, 0u) << taskName(kind);
+        EXPECT_FALSE(d.describe().empty());
+    }
+}

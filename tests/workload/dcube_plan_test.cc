@@ -1,0 +1,104 @@
+/** @file Tests for the PipeHash datacube planner. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/dcube_plan.hh"
+
+using namespace howsim::workload;
+
+namespace
+{
+
+constexpr std::uint64_t kMb = 1ull << 20;
+constexpr std::uint64_t kGb = 1ull << 30;
+
+} // namespace
+
+TEST(DatacubePlan, LatticeHasFifteenGroupBys)
+{
+    EXPECT_EQ(DatacubePlan::lattice().size(), 15u);
+}
+
+TEST(DatacubePlan, RootIs695Mb)
+{
+    // The paper: "The size of the hash table for the largest
+    // group-by is 695 MB."
+    EXPECT_EQ(DatacubePlan::rootBytes(), 695 * kMb);
+}
+
+TEST(DatacubePlan, NonRootTablesTotal2Point3Gb)
+{
+    // The paper: "14 group-bys can be merged into a single scan if a
+    // total of 2.3 GB is available at the disks."
+    double gb = static_cast<double>(DatacubePlan::nonRootBytes())
+                / static_cast<double>(kGb);
+    EXPECT_NEAR(gb, 2.3, 0.05);
+}
+
+TEST(DatacubePlan, SixteenDisk32MbOverflows)
+{
+    // 16 disks x 32 MB = 512 MB: the root cannot fit and partials
+    // must be forwarded to the front-end.
+    auto p = DatacubePlan::plan(512 * kMb);
+    EXPECT_TRUE(p.hasOverflow());
+}
+
+TEST(DatacubePlan, SixteenDisk64MbFitsRoot)
+{
+    // 16 disks x 64 MB = 1 GB: every group-by fits individually.
+    auto p = DatacubePlan::plan(1 * kGb);
+    EXPECT_FALSE(p.hasOverflow());
+}
+
+TEST(DatacubePlan, PaperPassCounts)
+{
+    // 64 disks x 32 MB = 2 GB -> 3 passes; x 64 MB = 4 GB -> 2.
+    EXPECT_EQ(DatacubePlan::plan(2 * kGb).basePasses(), 3);
+    EXPECT_EQ(DatacubePlan::plan(4 * kGb).basePasses(), 2);
+}
+
+TEST(DatacubePlan, MoreMemoryNeverMorePasses)
+{
+    int prev = 1000;
+    for (std::uint64_t mem = 256 * kMb; mem <= 16 * kGb; mem *= 2) {
+        int passes = DatacubePlan::plan(mem).basePasses();
+        EXPECT_LE(passes, prev) << "at " << mem;
+        prev = passes;
+    }
+}
+
+TEST(DatacubePlan, TwoPassFloorWithUnlimitedMemory)
+{
+    // Root scan + one scan for everything else.
+    EXPECT_EQ(DatacubePlan::plan(64 * kGb).basePasses(), 2);
+}
+
+TEST(DatacubePlan, EveryGroupByScheduledExactlyOnce)
+{
+    for (std::uint64_t mem : {512 * kMb, 1 * kGb, 2 * kGb, 8 * kGb}) {
+        auto p = DatacubePlan::plan(mem);
+        std::set<int> seen;
+        for (const auto &scan : p.scans)
+            for (int g : scan)
+                EXPECT_TRUE(seen.insert(g).second) << "dup in " << mem;
+        EXPECT_EQ(seen.size(), DatacubePlan::lattice().size());
+    }
+}
+
+TEST(DatacubePlan, ScansRespectCapacityWhenNotOverflowing)
+{
+    for (std::uint64_t mem : {1 * kGb, 2 * kGb, 4 * kGb}) {
+        auto p = DatacubePlan::plan(mem);
+        EXPECT_FALSE(p.hasOverflow());
+        // Skip the root scan (index 0 occupies scan 0 by design).
+        for (std::size_t s = 1; s < p.scans.size(); ++s) {
+            std::uint64_t sum = 0;
+            for (int g : p.scans[s])
+                sum += DatacubePlan::lattice()
+                           [static_cast<std::size_t>(g)].bytes;
+            EXPECT_LE(sum, mem);
+        }
+    }
+}

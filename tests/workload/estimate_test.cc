@@ -1,0 +1,92 @@
+/** @file Property tests for the statistical estimators. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/random.hh"
+#include "workload/estimate.hh"
+
+using namespace howsim::workload;
+using howsim::sim::Rng;
+
+TEST(ExpectedDistinct, BoundaryCases)
+{
+    EXPECT_DOUBLE_EQ(expectedDistinct(0, 100), 0.0);
+    EXPECT_DOUBLE_EQ(expectedDistinct(100, 0), 0.0);
+    EXPECT_NEAR(expectedDistinct(1, 50), 1.0, 1e-9);
+}
+
+TEST(ExpectedDistinct, FewDrawsNearlyAllDistinct)
+{
+    // Drawing far fewer than the domain: nearly every draw distinct.
+    double e = expectedDistinct(1e9, 1000);
+    EXPECT_NEAR(e, 1000, 1.0);
+}
+
+TEST(ExpectedDistinct, ManyDrawsSaturateDomain)
+{
+    double e = expectedDistinct(1000, 1e7);
+    EXPECT_NEAR(e, 1000, 0.5);
+}
+
+TEST(ExpectedDistinct, MatchesMonteCarlo)
+{
+    // Validate the closed form against actual uniform draws.
+    Rng rng(4242);
+    const std::uint64_t domain = 10000;
+    const std::uint64_t draws = 15000;
+    double trials = 0, total = 0;
+    for (int t = 0; t < 20; ++t) {
+        std::set<std::uint64_t> seen;
+        for (std::uint64_t i = 0; i < draws; ++i)
+            seen.insert(rng.below(domain));
+        total += static_cast<double>(seen.size());
+        ++trials;
+    }
+    double mc = total / trials;
+    double closed = expectedDistinct(domain, draws);
+    EXPECT_NEAR(closed / mc, 1.0, 0.01);
+}
+
+TEST(ExpectedDistinct, MonotoneInDraws)
+{
+    double prev = 0;
+    for (double n = 1000; n <= 1e6; n *= 2) {
+        double e = expectedDistinct(5e5, n);
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(MergePasses, BasicArithmetic)
+{
+    EXPECT_EQ(mergePasses(1, 16), 0);
+    EXPECT_EQ(mergePasses(16, 16), 1);
+    EXPECT_EQ(mergePasses(17, 16), 2);
+    EXPECT_EQ(mergePasses(256, 16), 2);
+    EXPECT_EQ(mergePasses(257, 16), 3);
+}
+
+TEST(MergePasses, BinaryMerging)
+{
+    EXPECT_EQ(mergePasses(8, 2), 3);
+    EXPECT_EQ(mergePasses(9, 2), 4);
+}
+
+TEST(FrequentItemFraction, MoreSupportFewerItems)
+{
+    double loose = frequentItemFraction(1'000'000, 0.0001);
+    double tight = frequentItemFraction(1'000'000, 0.01);
+    EXPECT_GT(loose, tight);
+    EXPECT_GE(tight, 0.0);
+    EXPECT_LE(loose, 1.0);
+}
+
+TEST(FrequentItemFraction, PaperParametersGiveSmallSet)
+{
+    // 1M items at 0.1% minsup: a small fraction qualifies.
+    double f = frequentItemFraction(1'000'000, 0.001);
+    EXPECT_GT(f, 1e-5);
+    EXPECT_LT(f, 0.2);
+}

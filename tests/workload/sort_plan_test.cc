@@ -1,0 +1,66 @@
+/** @file Tests for the external-sort planner. */
+
+#include <gtest/gtest.h>
+
+#include "workload/sort_plan.hh"
+
+using namespace howsim::workload;
+
+namespace
+{
+
+constexpr std::uint64_t kMb = 1ull << 20;
+constexpr std::uint64_t kGb = 1ull << 30;
+
+} // namespace
+
+TEST(SortPlan, PaperRegime32Mb)
+{
+    // 1 GB of data per 32 MB Active Disk: 40 runs of 25 MB (paper).
+    auto p = SortPlan::plan(1 * kGb, 32 * kMb, 100);
+    EXPECT_EQ(p.runBytes, 25 * kMb);
+    EXPECT_EQ(p.runCount, 41u); // 1 GiB = 1024 MiB -> 40.96 runs
+    EXPECT_EQ(p.mergePassCount, 1);
+}
+
+TEST(SortPlan, PaperRegime64MbHalvesRuns)
+{
+    auto p32 = SortPlan::plan(1 * kGb, 32 * kMb, 100);
+    auto p64 = SortPlan::plan(1 * kGb, 64 * kMb, 100);
+    EXPECT_EQ(p64.runBytes, 50 * kMb);
+    EXPECT_NEAR(static_cast<double>(p32.runCount)
+                    / static_cast<double>(p64.runCount),
+                2.0, 0.1);
+}
+
+TEST(SortPlan, SmallDataSingleRun)
+{
+    auto p = SortPlan::plan(10 * kMb, 32 * kMb, 100);
+    EXPECT_EQ(p.runCount, 1u);
+    EXPECT_EQ(p.mergePassCount, 1);
+}
+
+TEST(SortPlan, ManyRunsForceMultipleMergePasses)
+{
+    // 4 MB memory -> ~3 MB runs, 16 buffers - 1 = 15-way fan-in;
+    // 1 GB of data -> ~330 runs -> 3 passes (15 < 330 <= 15^3... ).
+    auto p = SortPlan::plan(1 * kGb, 4 * kMb, 100);
+    EXPECT_GT(p.runCount, 300u);
+    EXPECT_GE(p.mergePassCount, 2);
+}
+
+TEST(SortPlan, RunTuplesConsistent)
+{
+    auto p = SortPlan::plan(1 * kGb, 32 * kMb, 100);
+    EXPECT_EQ(p.runTuples, p.runBytes / 100);
+}
+
+TEST(SortPlan, MoreMemoryNeverMoreRuns)
+{
+    std::uint64_t prev_runs = ~0ull;
+    for (std::uint64_t mem = 8 * kMb; mem <= 512 * kMb; mem *= 2) {
+        auto p = SortPlan::plan(2 * kGb, mem, 100);
+        EXPECT_LE(p.runCount, prev_runs);
+        prev_runs = p.runCount;
+    }
+}

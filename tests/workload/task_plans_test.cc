@@ -1,0 +1,68 @@
+/** @file Tests for join/dmine/mview planners. */
+
+#include <gtest/gtest.h>
+
+#include "workload/task_plans.hh"
+
+using namespace howsim::workload;
+
+namespace
+{
+
+constexpr std::uint64_t kMb = 1ull << 20;
+constexpr std::uint64_t kGb = 1ull << 30;
+
+} // namespace
+
+TEST(JoinPlan, ProjectionHalvesShuffleVolume)
+{
+    auto d = DatasetSpec::forTask(TaskKind::Join);
+    auto p = JoinPlan::plan(d, 64, 32 * kMb);
+    EXPECT_EQ(p.relationBytes, 16 * kGb);
+    EXPECT_EQ(p.projectedBytes, 8 * kGb);
+}
+
+TEST(JoinPlan, PartitionsShrinkWithMoreDevices)
+{
+    auto d = DatasetSpec::forTask(TaskKind::Join);
+    auto p16 = JoinPlan::plan(d, 16, 32 * kMb);
+    auto p128 = JoinPlan::plan(d, 128, 32 * kMb);
+    EXPECT_GT(p16.partitionsPerDevice, p128.partitionsPerDevice);
+}
+
+TEST(JoinPlan, MoreMemoryFewerPartitions)
+{
+    auto d = DatasetSpec::forTask(TaskKind::Join);
+    auto small = JoinPlan::plan(d, 16, 32 * kMb);
+    auto large = JoinPlan::plan(d, 16, 128 * kMb);
+    EXPECT_GT(small.partitionsPerDevice, large.partitionsPerDevice);
+}
+
+TEST(DminePlan, CountersMatchPaperFootprint)
+{
+    auto d = DatasetSpec::forTask(TaskKind::Dmine);
+    auto p = DminePlan::plan(d);
+    // "the frequency counters needed 5.4 MB per disk"
+    EXPECT_NEAR(static_cast<double>(p.counterBytesPerDevice) / 1e6,
+                5.4, 0.3);
+}
+
+TEST(DminePlan, TwoPassesAndSmallBroadcast)
+{
+    auto d = DatasetSpec::forTask(TaskKind::Dmine);
+    auto p = DminePlan::plan(d);
+    EXPECT_EQ(p.passes, 2);
+    EXPECT_GT(p.frequentItems, 0u);
+    // Candidate exchange is orders of magnitude below the dataset.
+    EXPECT_LT(p.candidateBroadcastBytes, 10 * kMb);
+}
+
+TEST(MviewPlan, VolumesFollowDataset)
+{
+    auto d = DatasetSpec::forTask(TaskKind::Mview);
+    auto p = MviewPlan::plan(d);
+    EXPECT_EQ(p.deltaBytes, 1 * kGb);
+    EXPECT_EQ(p.baseScanBytes, 15 * kGb);
+    EXPECT_EQ(p.derivedBytes, 4 * kGb);
+    EXPECT_EQ(p.shuffleBytes(), 3 * kGb);
+}
