@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_interconnect.dir/fig2_interconnect.cc.o"
+  "CMakeFiles/fig2_interconnect.dir/fig2_interconnect.cc.o.d"
+  "fig2_interconnect"
+  "fig2_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_memory.dir/fig4_memory.cc.o"
+  "CMakeFiles/fig4_memory.dir/fig4_memory.cc.o.d"
+  "fig4_memory"
+  "fig4_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_d2d.dir/fig5_d2d.cc.o"
+  "CMakeFiles/fig5_d2d.dir/fig5_d2d.cc.o.d"
+  "fig5_d2d"
+  "fig5_d2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_d2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

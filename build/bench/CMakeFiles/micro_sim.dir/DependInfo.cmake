@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_sim.cc" "bench/CMakeFiles/micro_sim.dir/micro_sim.cc.o" "gcc" "bench/CMakeFiles/micro_sim.dir/micro_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/howsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/howsim_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/howsim_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/diskos/CMakeFiles/howsim_diskos.dir/DependInfo.cmake"
+  "/root/repo/build/src/smp/CMakeFiles/howsim_smp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/howsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/howsim_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/howsim_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/howsim_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/howsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/howsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

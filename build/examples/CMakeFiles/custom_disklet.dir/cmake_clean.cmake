@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_disklet.dir/custom_disklet.cpp.o"
+  "CMakeFiles/custom_disklet.dir/custom_disklet.cpp.o.d"
+  "custom_disklet"
+  "custom_disklet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_disklet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/howsim_cli.dir/howsim_cli.cpp.o"
+  "CMakeFiles/howsim_cli.dir/howsim_cli.cpp.o.d"
+  "howsim_cli"
+  "howsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/howsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/price_performance.dir/price_performance.cpp.o"
+  "CMakeFiles/price_performance.dir/price_performance.cpp.o.d"
+  "price_performance"
+  "price_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/price_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/howsim_arch.dir/cluster_machine.cc.o"
+  "CMakeFiles/howsim_arch.dir/cluster_machine.cc.o.d"
+  "CMakeFiles/howsim_arch.dir/cost_model.cc.o"
+  "CMakeFiles/howsim_arch.dir/cost_model.cc.o.d"
+  "libhowsim_arch.a"
+  "libhowsim_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/howsim_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

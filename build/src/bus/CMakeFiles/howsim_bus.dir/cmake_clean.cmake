@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/howsim_bus.dir/bus.cc.o"
+  "CMakeFiles/howsim_bus.dir/bus.cc.o.d"
+  "libhowsim_bus.a"
+  "libhowsim_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/howsim_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/howsim_core.dir/experiment.cc.o"
+  "CMakeFiles/howsim_core.dir/experiment.cc.o.d"
+  "CMakeFiles/howsim_core.dir/report.cc.o"
+  "CMakeFiles/howsim_core.dir/report.cc.o.d"
+  "libhowsim_core.a"
+  "libhowsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/howsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/howsim_disk.dir/disk.cc.o"
+  "CMakeFiles/howsim_disk.dir/disk.cc.o.d"
+  "CMakeFiles/howsim_disk.dir/disk_spec.cc.o"
+  "CMakeFiles/howsim_disk.dir/disk_spec.cc.o.d"
+  "CMakeFiles/howsim_disk.dir/geometry.cc.o"
+  "CMakeFiles/howsim_disk.dir/geometry.cc.o.d"
+  "CMakeFiles/howsim_disk.dir/seek_curve.cc.o"
+  "CMakeFiles/howsim_disk.dir/seek_curve.cc.o.d"
+  "libhowsim_disk.a"
+  "libhowsim_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/howsim_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

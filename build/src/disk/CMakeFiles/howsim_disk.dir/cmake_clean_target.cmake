@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhowsim_disk.a"
+)

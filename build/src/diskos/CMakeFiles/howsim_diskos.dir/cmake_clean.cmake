@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/howsim_diskos.dir/active_disk_array.cc.o"
+  "CMakeFiles/howsim_diskos.dir/active_disk_array.cc.o.d"
+  "CMakeFiles/howsim_diskos.dir/disklet.cc.o"
+  "CMakeFiles/howsim_diskos.dir/disklet.cc.o.d"
+  "libhowsim_diskos.a"
+  "libhowsim_diskos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/howsim_diskos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

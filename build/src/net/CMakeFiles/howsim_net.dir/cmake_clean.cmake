@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/howsim_net.dir/msg.cc.o"
+  "CMakeFiles/howsim_net.dir/msg.cc.o.d"
+  "CMakeFiles/howsim_net.dir/network.cc.o"
+  "CMakeFiles/howsim_net.dir/network.cc.o.d"
+  "libhowsim_net.a"
+  "libhowsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/howsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

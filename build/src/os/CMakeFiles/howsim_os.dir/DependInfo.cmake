@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/async_io.cc" "src/os/CMakeFiles/howsim_os.dir/async_io.cc.o" "gcc" "src/os/CMakeFiles/howsim_os.dir/async_io.cc.o.d"
+  "/root/repo/src/os/raw_disk.cc" "src/os/CMakeFiles/howsim_os.dir/raw_disk.cc.o" "gcc" "src/os/CMakeFiles/howsim_os.dir/raw_disk.cc.o.d"
+  "/root/repo/src/os/striping.cc" "src/os/CMakeFiles/howsim_os.dir/striping.cc.o" "gcc" "src/os/CMakeFiles/howsim_os.dir/striping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/howsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/howsim_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/howsim_bus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

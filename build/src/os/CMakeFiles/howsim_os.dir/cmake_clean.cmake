@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/howsim_os.dir/async_io.cc.o"
+  "CMakeFiles/howsim_os.dir/async_io.cc.o.d"
+  "CMakeFiles/howsim_os.dir/raw_disk.cc.o"
+  "CMakeFiles/howsim_os.dir/raw_disk.cc.o.d"
+  "CMakeFiles/howsim_os.dir/striping.cc.o"
+  "CMakeFiles/howsim_os.dir/striping.cc.o.d"
+  "libhowsim_os.a"
+  "libhowsim_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/howsim_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/howsim_sim.dir/event_queue.cc.o"
+  "CMakeFiles/howsim_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/howsim_sim.dir/logging.cc.o"
+  "CMakeFiles/howsim_sim.dir/logging.cc.o.d"
+  "CMakeFiles/howsim_sim.dir/random.cc.o"
+  "CMakeFiles/howsim_sim.dir/random.cc.o.d"
+  "CMakeFiles/howsim_sim.dir/resource.cc.o"
+  "CMakeFiles/howsim_sim.dir/resource.cc.o.d"
+  "CMakeFiles/howsim_sim.dir/simulator.cc.o"
+  "CMakeFiles/howsim_sim.dir/simulator.cc.o.d"
+  "libhowsim_sim.a"
+  "libhowsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/howsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

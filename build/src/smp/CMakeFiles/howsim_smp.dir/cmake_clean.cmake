@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/howsim_smp.dir/smp_machine.cc.o"
+  "CMakeFiles/howsim_smp.dir/smp_machine.cc.o.d"
+  "libhowsim_smp.a"
+  "libhowsim_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/howsim_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

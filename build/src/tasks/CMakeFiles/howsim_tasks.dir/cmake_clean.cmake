@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/howsim_tasks.dir/ad_tasks.cc.o"
+  "CMakeFiles/howsim_tasks.dir/ad_tasks.cc.o.d"
+  "CMakeFiles/howsim_tasks.dir/cluster_tasks.cc.o"
+  "CMakeFiles/howsim_tasks.dir/cluster_tasks.cc.o.d"
+  "CMakeFiles/howsim_tasks.dir/smp_tasks.cc.o"
+  "CMakeFiles/howsim_tasks.dir/smp_tasks.cc.o.d"
+  "libhowsim_tasks.a"
+  "libhowsim_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/howsim_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

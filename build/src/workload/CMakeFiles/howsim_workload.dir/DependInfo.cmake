@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dataset.cc" "src/workload/CMakeFiles/howsim_workload.dir/dataset.cc.o" "gcc" "src/workload/CMakeFiles/howsim_workload.dir/dataset.cc.o.d"
+  "/root/repo/src/workload/dcube_plan.cc" "src/workload/CMakeFiles/howsim_workload.dir/dcube_plan.cc.o" "gcc" "src/workload/CMakeFiles/howsim_workload.dir/dcube_plan.cc.o.d"
+  "/root/repo/src/workload/estimate.cc" "src/workload/CMakeFiles/howsim_workload.dir/estimate.cc.o" "gcc" "src/workload/CMakeFiles/howsim_workload.dir/estimate.cc.o.d"
+  "/root/repo/src/workload/sort_plan.cc" "src/workload/CMakeFiles/howsim_workload.dir/sort_plan.cc.o" "gcc" "src/workload/CMakeFiles/howsim_workload.dir/sort_plan.cc.o.d"
+  "/root/repo/src/workload/task_kind.cc" "src/workload/CMakeFiles/howsim_workload.dir/task_kind.cc.o" "gcc" "src/workload/CMakeFiles/howsim_workload.dir/task_kind.cc.o.d"
+  "/root/repo/src/workload/task_plans.cc" "src/workload/CMakeFiles/howsim_workload.dir/task_plans.cc.o" "gcc" "src/workload/CMakeFiles/howsim_workload.dir/task_plans.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/howsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

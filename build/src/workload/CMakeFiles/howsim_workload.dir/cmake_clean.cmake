@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/howsim_workload.dir/dataset.cc.o"
+  "CMakeFiles/howsim_workload.dir/dataset.cc.o.d"
+  "CMakeFiles/howsim_workload.dir/dcube_plan.cc.o"
+  "CMakeFiles/howsim_workload.dir/dcube_plan.cc.o.d"
+  "CMakeFiles/howsim_workload.dir/estimate.cc.o"
+  "CMakeFiles/howsim_workload.dir/estimate.cc.o.d"
+  "CMakeFiles/howsim_workload.dir/sort_plan.cc.o"
+  "CMakeFiles/howsim_workload.dir/sort_plan.cc.o.d"
+  "CMakeFiles/howsim_workload.dir/task_kind.cc.o"
+  "CMakeFiles/howsim_workload.dir/task_kind.cc.o.d"
+  "CMakeFiles/howsim_workload.dir/task_plans.cc.o"
+  "CMakeFiles/howsim_workload.dir/task_plans.cc.o.d"
+  "libhowsim_workload.a"
+  "libhowsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/howsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

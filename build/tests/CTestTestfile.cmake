@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("disk")
+subdirs("bus")
+subdirs("net")
+subdirs("os")
+subdirs("diskos")
+subdirs("smp")
+subdirs("workload")
+subdirs("tasks")
+subdirs("arch")
+subdirs("core")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_machine.dir/cluster_machine_test.cc.o"
+  "CMakeFiles/test_cluster_machine.dir/cluster_machine_test.cc.o.d"
+  "test_cluster_machine"
+  "test_cluster_machine.pdb"
+  "test_cluster_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bus_death.dir/bus_death_test.cc.o"
+  "CMakeFiles/test_bus_death.dir/bus_death_test.cc.o.d"
+  "test_bus_death"
+  "test_bus_death.pdb"
+  "test_bus_death[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bus_death.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/bus
+# Build directory: /root/repo/build/tests/bus
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bus/test_bus[1]_include.cmake")
+include("/root/repo/build/tests/bus/test_bus_death[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disk_sched_trace.dir/disk_sched_trace_test.cc.o"
+  "CMakeFiles/test_disk_sched_trace.dir/disk_sched_trace_test.cc.o.d"
+  "test_disk_sched_trace"
+  "test_disk_sched_trace.pdb"
+  "test_disk_sched_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disk_sched_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

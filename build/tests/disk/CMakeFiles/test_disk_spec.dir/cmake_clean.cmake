@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disk_spec.dir/disk_spec_test.cc.o"
+  "CMakeFiles/test_disk_spec.dir/disk_spec_test.cc.o.d"
+  "test_disk_spec"
+  "test_disk_spec.pdb"
+  "test_disk_spec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disk_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disk_throughput.dir/disk_throughput_test.cc.o"
+  "CMakeFiles/test_disk_throughput.dir/disk_throughput_test.cc.o.d"
+  "test_disk_throughput"
+  "test_disk_throughput.pdb"
+  "test_disk_throughput[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disk_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

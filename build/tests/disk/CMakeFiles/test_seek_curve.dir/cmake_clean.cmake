@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seek_curve.dir/seek_curve_test.cc.o"
+  "CMakeFiles/test_seek_curve.dir/seek_curve_test.cc.o.d"
+  "test_seek_curve"
+  "test_seek_curve.pdb"
+  "test_seek_curve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seek_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

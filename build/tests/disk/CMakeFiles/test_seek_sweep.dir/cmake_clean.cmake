@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seek_sweep.dir/seek_sweep_test.cc.o"
+  "CMakeFiles/test_seek_sweep.dir/seek_sweep_test.cc.o.d"
+  "test_seek_sweep"
+  "test_seek_sweep.pdb"
+  "test_seek_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seek_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/disk
+# Build directory: /root/repo/build/tests/disk
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/disk/test_disk_spec[1]_include.cmake")
+include("/root/repo/build/tests/disk/test_geometry[1]_include.cmake")
+include("/root/repo/build/tests/disk/test_seek_curve[1]_include.cmake")
+include("/root/repo/build/tests/disk/test_disk[1]_include.cmake")
+include("/root/repo/build/tests/disk/test_disk_sched_trace[1]_include.cmake")
+include("/root/repo/build/tests/disk/test_disk_throughput[1]_include.cmake")
+include("/root/repo/build/tests/disk/test_seek_sweep[1]_include.cmake")

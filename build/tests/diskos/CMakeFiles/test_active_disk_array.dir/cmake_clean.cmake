@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_active_disk_array.dir/active_disk_array_test.cc.o"
+  "CMakeFiles/test_active_disk_array.dir/active_disk_array_test.cc.o.d"
+  "test_active_disk_array"
+  "test_active_disk_array.pdb"
+  "test_active_disk_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_active_disk_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

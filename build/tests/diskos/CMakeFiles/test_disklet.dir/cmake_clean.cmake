@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disklet.dir/disklet_test.cc.o"
+  "CMakeFiles/test_disklet.dir/disklet_test.cc.o.d"
+  "test_disklet"
+  "test_disklet.pdb"
+  "test_disklet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disklet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/diskos
+# Build directory: /root/repo/build/tests/diskos
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/diskos/test_active_disk_array[1]_include.cmake")
+include("/root/repo/build/tests/diskos/test_disklet[1]_include.cmake")

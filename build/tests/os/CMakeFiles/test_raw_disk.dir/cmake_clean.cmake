@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raw_disk.dir/raw_disk_test.cc.o"
+  "CMakeFiles/test_raw_disk.dir/raw_disk_test.cc.o.d"
+  "test_raw_disk"
+  "test_raw_disk.pdb"
+  "test_raw_disk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raw_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

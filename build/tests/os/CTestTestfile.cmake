@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/os
+# Build directory: /root/repo/build/tests/os
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/os/test_raw_disk[1]_include.cmake")
+include("/root/repo/build/tests/os/test_async_io[1]_include.cmake")
+include("/root/repo/build/tests/os/test_striping[1]_include.cmake")
+include("/root/repo/build/tests/os/test_cpu[1]_include.cmake")

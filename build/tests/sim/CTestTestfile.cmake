@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_channel[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_resource[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_random[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_failure[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_coro[1]_include.cmake")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/smp/smp_machine_test.cc" "tests/smp/CMakeFiles/test_smp_machine.dir/smp_machine_test.cc.o" "gcc" "tests/smp/CMakeFiles/test_smp_machine.dir/smp_machine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smp/CMakeFiles/howsim_smp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/howsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/howsim_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/howsim_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/howsim_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/howsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

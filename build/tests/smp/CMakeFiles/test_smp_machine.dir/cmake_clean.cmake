@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smp_machine.dir/smp_machine_test.cc.o"
+  "CMakeFiles/test_smp_machine.dir/smp_machine_test.cc.o.d"
+  "test_smp_machine"
+  "test_smp_machine.pdb"
+  "test_smp_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smp_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

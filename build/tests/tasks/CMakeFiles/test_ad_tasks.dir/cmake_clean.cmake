@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ad_tasks.dir/ad_tasks_test.cc.o"
+  "CMakeFiles/test_ad_tasks.dir/ad_tasks_test.cc.o.d"
+  "test_ad_tasks"
+  "test_ad_tasks.pdb"
+  "test_ad_tasks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ad_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

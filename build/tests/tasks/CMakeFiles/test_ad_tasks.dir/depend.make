@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ad_tasks.
+# This may be replaced when dependencies are built.

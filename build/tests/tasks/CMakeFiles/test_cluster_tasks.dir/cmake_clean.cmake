@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_tasks.dir/cluster_tasks_test.cc.o"
+  "CMakeFiles/test_cluster_tasks.dir/cluster_tasks_test.cc.o.d"
+  "test_cluster_tasks"
+  "test_cluster_tasks.pdb"
+  "test_cluster_tasks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smp_tasks.dir/smp_tasks_test.cc.o"
+  "CMakeFiles/test_smp_tasks.dir/smp_tasks_test.cc.o.d"
+  "test_smp_tasks"
+  "test_smp_tasks.pdb"
+  "test_smp_tasks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smp_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/tasks
+# Build directory: /root/repo/build/tests/tasks
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tasks/test_ad_tasks[1]_include.cmake")
+include("/root/repo/build/tests/tasks/test_cluster_tasks[1]_include.cmake")
+include("/root/repo/build/tests/tasks/test_smp_tasks[1]_include.cmake")
+include("/root/repo/build/tests/tasks/test_scaling[1]_include.cmake")

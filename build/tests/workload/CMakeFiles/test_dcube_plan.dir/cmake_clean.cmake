@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcube_plan.dir/dcube_plan_test.cc.o"
+  "CMakeFiles/test_dcube_plan.dir/dcube_plan_test.cc.o.d"
+  "test_dcube_plan"
+  "test_dcube_plan.pdb"
+  "test_dcube_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcube_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sort_plan.dir/sort_plan_test.cc.o"
+  "CMakeFiles/test_sort_plan.dir/sort_plan_test.cc.o.d"
+  "test_sort_plan"
+  "test_sort_plan.pdb"
+  "test_sort_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sort_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task_plans.dir/task_plans_test.cc.o"
+  "CMakeFiles/test_task_plans.dir/task_plans_test.cc.o.d"
+  "test_task_plans"
+  "test_task_plans.pdb"
+  "test_task_plans[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/workload
+# Build directory: /root/repo/build/tests/workload
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/workload/test_dataset[1]_include.cmake")
+include("/root/repo/build/tests/workload/test_estimate[1]_include.cmake")
+include("/root/repo/build/tests/workload/test_sort_plan[1]_include.cmake")
+include("/root/repo/build/tests/workload/test_dcube_plan[1]_include.cmake")
+include("/root/repo/build/tests/workload/test_task_plans[1]_include.cmake")
+include("/root/repo/build/tests/workload/test_cost_model_workload[1]_include.cmake")
