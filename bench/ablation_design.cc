@@ -14,8 +14,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "core/bench_harness.hh"
 #include "core/experiment.hh"
+#include "core/runner.hh"
 
 using namespace howsim;
 using core::ExperimentConfig;
@@ -24,15 +27,15 @@ using workload::TaskKind;
 namespace
 {
 
-double
-runSort128(int loops)
+ExperimentConfig
+sort128(int loops)
 {
     ExperimentConfig config;
     config.task = TaskKind::Sort;
     config.scale = 128;
     config.interconnectLoops = loops;
     config.interconnectRate = loops * 100e6;
-    return core::runExperiment(config).seconds();
+    return config;
 }
 
 } // namespace
@@ -40,13 +43,41 @@ runSort128(int loops)
 int
 main()
 {
+    core::BenchHarness harness("ablation_design");
+
+    const int loopCounts[] = {2, 4, 8, 16};
+
+    std::vector<ExperimentConfig> configs;
+    for (int loops : loopCounts)
+        configs.push_back(sort128(loops));
+    for (bool d2d : {true, false}) {
+        for (double mhz : {450.0, 1000.0}) {
+            ExperimentConfig config;
+            config.task = TaskKind::Sort;
+            config.scale = 64;
+            config.directD2d = d2d;
+            config.adFrontendMhz = mhz;
+            configs.push_back(config);
+        }
+    }
+    for (double mhz : {450.0, 1000.0}) {
+        ExperimentConfig config;
+        config.task = TaskKind::GroupBy;
+        config.scale = 64;
+        config.adFrontendMhz = mhz;
+        configs.push_back(config);
+    }
+
+    auto results = core::runExperiments(configs);
+    std::size_t next = 0;
+
     std::printf("Ablation 1: FibreSwitch loop scaling, sort at 128 "
                 "disks\n");
     std::printf("(the paper recommends multiple loops behind a "
                 "switch beyond 64 disks)\n");
-    double base = runSort128(2);
-    for (int loops : {2, 4, 8, 16}) {
-        double secs = runSort128(loops);
+    double base = results[0].seconds();
+    for (int loops : loopCounts) {
+        double secs = results[next++].seconds();
         std::printf("  %2d loops (%4.0f MB/s aggregate): %7.1fs "
                     "(%.2fx vs dual loop)\n",
                     loops, loops * 100.0, secs, secs / base);
@@ -56,12 +87,7 @@ main()
                 "disks\n");
     for (bool d2d : {true, false}) {
         for (double mhz : {450.0, 1000.0}) {
-            ExperimentConfig config;
-            config.task = TaskKind::Sort;
-            config.scale = 64;
-            config.directD2d = d2d;
-            config.adFrontendMhz = mhz;
-            double secs = core::runExperiment(config).seconds();
+            double secs = results[next++].seconds();
             std::printf("  %-28s %4.0f MHz front-end: %7.1fs\n",
                         d2d ? "direct disk-to-disk," : "via front-end,",
                         mhz, secs);
@@ -73,11 +99,7 @@ main()
     std::printf("\nAblation 3: group-by with a faster front-end "
                 "(64 disks)\n");
     for (double mhz : {450.0, 1000.0}) {
-        ExperimentConfig config;
-        config.task = TaskKind::GroupBy;
-        config.scale = 64;
-        config.adFrontendMhz = mhz;
-        double secs = core::runExperiment(config).seconds();
+        double secs = results[next++].seconds();
         std::printf("  %4.0f MHz front-end: %7.1fs\n", mhz, secs);
     }
     std::printf("  (result ingestion is front-end-CPU-bound, so the "

@@ -6,14 +6,21 @@
  * the same size, exactly as in the paper (absolute seconds are also
  * printed for reference).
  *
+ * All 96 experiments are independent, so they run through the batch
+ * runner (HOWSIM_JOBS workers) and the results are read back in
+ * input order.
+ *
  * Set HOWSIM_CSV_DIR to also persist each panel as CSV.
  */
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "core/bench_harness.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/runner.hh"
 
 using namespace howsim;
 using core::Arch;
@@ -21,9 +28,19 @@ using core::ExperimentConfig;
 using core::Table;
 using workload::TaskKind;
 
+namespace
+{
+
+const int scales[] = {16, 32, 64, 128};
+const Arch archs[] = {Arch::ActiveDisk, Arch::Cluster, Arch::Smp};
+
+} // namespace
+
 int
 main()
 {
+    core::BenchHarness harness("fig1_arch_comparison");
+
     std::printf("Figure 1: normalized execution time "
                 "(architecture / Active Disks)\n");
     std::printf("Paper expectation: ~comparable at 16 disks; SMP "
@@ -31,21 +48,30 @@ main()
     std::printf("(largest for select/aggregate); cluster within "
                 "0.75-1.5x except groupby.\n\n");
 
-    for (int scale : {16, 32, 64, 128}) {
-        std::printf("=== %d disks ===\n", scale);
-        Table table({"task", "active(s)", "cluster(s)", "smp(s)",
-                     "cluster/ad", "smp/ad"});
+    std::vector<ExperimentConfig> configs;
+    for (int scale : scales) {
         for (auto task : workload::allTasks) {
-            double secs[3] = {0, 0, 0};
-            int i = 0;
-            for (auto arch :
-                 {Arch::ActiveDisk, Arch::Cluster, Arch::Smp}) {
+            for (auto arch : archs) {
                 ExperimentConfig config;
                 config.arch = arch;
                 config.task = task;
                 config.scale = scale;
-                secs[i++] = core::runExperiment(config).seconds();
+                configs.push_back(config);
             }
+        }
+    }
+
+    auto results = core::runExperiments(configs);
+
+    std::size_t next = 0;
+    for (int scale : scales) {
+        std::printf("=== %d disks ===\n", scale);
+        Table table({"task", "active(s)", "cluster(s)", "smp(s)",
+                     "cluster/ad", "smp/ad"});
+        for (auto task : workload::allTasks) {
+            double secs[3];
+            for (double &s : secs)
+                s = results[next++].seconds();
             table.addRow({workload::taskName(task),
                           Table::num(secs[0], 1),
                           Table::num(secs[1], 1),

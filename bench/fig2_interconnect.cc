@@ -7,8 +7,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "core/bench_harness.hh"
 #include "core/experiment.hh"
+#include "core/runner.hh"
 
 using namespace howsim;
 using core::Arch;
@@ -17,6 +20,8 @@ using core::ExperimentConfig;
 int
 main()
 {
+    core::BenchHarness harness("fig2_interconnect");
+
     std::printf("Figure 2: 200 vs 400 MB/s I/O interconnect "
                 "(normalized to 200 MB/s Active Disks)\n");
     std::printf("Paper expectation: large SMP gains everywhere; AD "
@@ -24,14 +29,11 @@ main()
     std::printf("and AD\\@200 still beats SMP\\@400 (1.5-4.8x at 128 "
                 "disks).\n\n");
 
-    for (int scale : {64, 128}) {
-        std::printf("=== %d disks ===\n", scale);
-        std::printf("%-10s %9s %9s %9s %9s   %s\n", "task", "200MB(A)",
-                    "400MB(A)", "200MB(S)", "400MB(S)",
-                    "smp400/ad200");
+    const int scales[] = {64, 128};
+
+    std::vector<ExperimentConfig> configs;
+    for (int scale : scales) {
         for (auto task : workload::allTasks) {
-            double secs[4];
-            int i = 0;
             for (auto arch : {Arch::ActiveDisk, Arch::Smp}) {
                 for (double rate : {200e6, 400e6}) {
                     ExperimentConfig config;
@@ -39,9 +41,24 @@ main()
                     config.task = task;
                     config.scale = scale;
                     config.interconnectRate = rate;
-                    secs[i++] = core::runExperiment(config).seconds();
+                    configs.push_back(config);
                 }
             }
+        }
+    }
+
+    auto results = core::runExperiments(configs);
+
+    std::size_t next = 0;
+    for (int scale : scales) {
+        std::printf("=== %d disks ===\n", scale);
+        std::printf("%-10s %9s %9s %9s %9s   %s\n", "task", "200MB(A)",
+                    "400MB(A)", "200MB(S)", "400MB(S)",
+                    "smp400/ad200");
+        for (auto task : workload::allTasks) {
+            double secs[4];
+            for (double &s : secs)
+                s = results[next++].seconds();
             double base = secs[0];
             std::printf("%-10s %9.2f %9.2f %9.2f %9.2f   %10.2f\n",
                         workload::taskName(task).c_str(), 1.0,

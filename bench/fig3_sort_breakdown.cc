@@ -10,8 +10,11 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "core/bench_harness.hh"
 #include "core/experiment.hh"
+#include "core/runner.hh"
 #include "disk/disk_spec.hh"
 
 using namespace howsim;
@@ -27,8 +30,16 @@ struct Variant
     bool fast_io;
 };
 
-void
-runOne(int scale, const Variant &variant)
+const Variant variants[] = {
+    {"base", false, false},
+    {"FastDisk", true, false},
+    {"FastI/O", false, true},
+};
+
+const int scales[] = {16, 32, 64, 128};
+
+ExperimentConfig
+makeConfig(int scale, const Variant &variant)
 {
     ExperimentConfig config;
     config.arch = core::Arch::ActiveDisk;
@@ -38,8 +49,13 @@ runOne(int scale, const Variant &variant)
         config.drive = disk::DiskSpec::hitachiDk3e1t91();
     if (variant.fast_io)
         config.interconnectRate = 400e6;
-    auto result = core::runExperiment(config);
+    return config;
+}
 
+void
+printOne(int scale, const Variant &variant,
+         const tasks::TaskResult &result)
+{
     double p1 = result.buckets.get("p1.elapsed");
     double p2 = result.buckets.get("p2.elapsed");
     double total = p1 + p2;
@@ -69,20 +85,25 @@ runOne(int scale, const Variant &variant)
 int
 main()
 {
+    core::BenchHarness harness("fig3_sort_breakdown");
+
     std::printf("Figure 3: sort breakdown on Active Disks\n");
     std::printf("Paper expectation: sort phase dominates; <=64 disks "
                 "compute-balanced (small idle);\n");
     std::printf("at 128 disks idle dominates and Fast I/O (not Fast "
                 "Disk) recovers it.\n\n");
 
-    const Variant variants[] = {
-        {"base", false, false},
-        {"FastDisk", true, false},
-        {"FastI/O", false, true},
-    };
-    for (int scale : {16, 32, 64, 128}) {
+    std::vector<ExperimentConfig> configs;
+    for (int scale : scales)
         for (const auto &variant : variants)
-            runOne(scale, variant);
+            configs.push_back(makeConfig(scale, variant));
+
+    auto results = core::runExperiments(configs);
+
+    std::size_t next = 0;
+    for (int scale : scales) {
+        for (const auto &variant : variants)
+            printOne(scale, variant, results[next++]);
         std::printf("\n");
     }
     return 0;

@@ -6,8 +6,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "core/bench_harness.hh"
 #include "core/experiment.hh"
+#include "core/runner.hh"
 
 using namespace howsim;
 using core::ExperimentConfig;
@@ -16,15 +19,15 @@ using workload::TaskKind;
 namespace
 {
 
-double
-runWithMemory(TaskKind task, int scale, std::uint64_t mem)
+ExperimentConfig
+withMemory(TaskKind task, int scale, std::uint64_t mem)
 {
     ExperimentConfig config;
     config.arch = core::Arch::ActiveDisk;
     config.task = task;
     config.scale = scale;
     config.adMemoryBytes = mem;
-    return core::runExperiment(config).seconds();
+    return config;
 }
 
 } // namespace
@@ -32,6 +35,8 @@ runWithMemory(TaskKind task, int scale, std::uint64_t mem)
 int
 main()
 {
+    core::BenchHarness harness("fig4_memory");
+
     std::printf("Figure 4: %% improvement from 64 MB disk memory "
                 "(vs 32 MB)\n");
     std::printf("Paper expectation: <=2%% for everything except "
@@ -43,37 +48,63 @@ main()
         TaskKind::Select, TaskKind::Sort, TaskKind::Join,
         TaskKind::Datacube, TaskKind::Mview,
     };
+    const TaskKind insensitive[] = {
+        TaskKind::Aggregate, TaskKind::GroupBy, TaskKind::Dmine,
+    };
+
+    // Enqueue every (task, scale, memory) pair in print order, run
+    // the whole sweep through the batch runner, then read back the
+    // t_small/t_large pairs sequentially.
+    std::vector<ExperimentConfig> configs;
+    for (auto task : fig4_tasks) {
+        for (int scale : {16, 32, 64, 128}) {
+            configs.push_back(withMemory(task, scale, 32ull << 20));
+            configs.push_back(withMemory(task, scale, 64ull << 20));
+        }
+    }
+    for (auto task : insensitive) {
+        configs.push_back(withMemory(task, 64, 32ull << 20));
+        configs.push_back(withMemory(task, 64, 64ull << 20));
+    }
+    for (int scale : {16, 64}) {
+        configs.push_back(
+            withMemory(TaskKind::Datacube, scale, 64ull << 20));
+        configs.push_back(
+            withMemory(TaskKind::Datacube, scale, 128ull << 20));
+    }
+
+    auto results = core::runExperiments(configs);
+
+    std::size_t next = 0;
+    auto pairImprovement = [&] {
+        double small = results[next++].seconds();
+        double large = results[next++].seconds();
+        return 100.0 * (small - large) / small;
+    };
+
     std::printf("%-10s %10s %10s %10s %10s\n", "task", "16 disks",
                 "32 disks", "64 disks", "128 disks");
     for (auto task : fig4_tasks) {
         std::printf("%-10s", workload::taskName(task).c_str());
         for (int scale : {16, 32, 64, 128}) {
-            double t32 = runWithMemory(task, scale, 32ull << 20);
-            double t64 = runWithMemory(task, scale, 64ull << 20);
-            std::printf(" %9.1f%%", 100.0 * (t32 - t64) / t32);
+            (void)scale;
+            std::printf(" %9.1f%%", pairImprovement());
         }
         std::printf("\n");
     }
 
     std::printf("\nInsensitive tasks (64 disks, 32 vs 64 MB):\n");
-    for (auto task : {TaskKind::Aggregate, TaskKind::GroupBy,
-                      TaskKind::Dmine}) {
-        double t32 = runWithMemory(task, 64, 32ull << 20);
-        double t64 = runWithMemory(task, 64, 64ull << 20);
+    for (auto task : insensitive) {
         std::printf("  %-10s %6.2f%%\n",
                     workload::taskName(task).c_str(),
-                    100.0 * (t32 - t64) / t32);
+                    pairImprovement());
     }
 
     std::printf("\ndcube beyond 64 MB (paper: no further gain once "
                 "every group-by fits):\n");
     for (int scale : {16, 64}) {
-        double t64 = runWithMemory(TaskKind::Datacube, scale,
-                                   64ull << 20);
-        double t128 = runWithMemory(TaskKind::Datacube, scale,
-                                    128ull << 20);
         std::printf("  %3d disks, 64->128 MB: %6.2f%%\n", scale,
-                    100.0 * (t64 - t128) / t64);
+                    pairImprovement());
     }
     return 0;
 }

@@ -6,8 +6,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "core/bench_harness.hh"
 #include "core/experiment.hh"
+#include "core/runner.hh"
 
 using namespace howsim;
 using core::ExperimentConfig;
@@ -15,15 +18,15 @@ using core::ExperimentConfig;
 int
 main()
 {
+    core::BenchHarness harness("fig5_d2d");
+
     std::printf("Figure 5: restricted communication architecture "
                 "(via front-end / direct)\n");
     std::printf("Paper expectation: up to ~5x slowdown for "
                 "sort/join/mview; negligible elsewhere.\n\n");
 
-    std::printf("%-10s %10s %10s %10s\n", "task", "32 disks",
-                "64 disks", "128 disks");
+    std::vector<ExperimentConfig> configs;
     for (auto task : workload::allTasks) {
-        std::printf("%-10s", workload::taskName(task).c_str());
         for (int scale : {32, 64, 128}) {
             ExperimentConfig direct;
             direct.arch = core::Arch::ActiveDisk;
@@ -31,9 +34,22 @@ main()
             direct.scale = scale;
             ExperimentConfig restricted = direct;
             restricted.directD2d = false;
-            double t_direct = core::runExperiment(direct).seconds();
-            double t_restricted
-                = core::runExperiment(restricted).seconds();
+            configs.push_back(direct);
+            configs.push_back(restricted);
+        }
+    }
+
+    auto results = core::runExperiments(configs);
+
+    std::size_t next = 0;
+    std::printf("%-10s %10s %10s %10s\n", "task", "32 disks",
+                "64 disks", "128 disks");
+    for (auto task : workload::allTasks) {
+        std::printf("%-10s", workload::taskName(task).c_str());
+        for (int scale : {32, 64, 128}) {
+            (void)scale;
+            double t_direct = results[next++].seconds();
+            double t_restricted = results[next++].seconds();
             std::printf(" %9.2fx", t_restricted / t_direct);
         }
         std::printf("\n");

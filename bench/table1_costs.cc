@@ -9,12 +9,15 @@
 #include <cstdio>
 
 #include "arch/cost_model.hh"
+#include "core/bench_harness.hh"
 
 using namespace howsim::arch;
 
 int
 main()
 {
+    howsim::core::BenchHarness harness("table1_costs");
+
     std::printf("Table 1: cost evolution for 64-node configurations\n");
     std::printf("%-28s %10s %10s %10s\n", "component", "8/98", "11/98",
                 "7/99");

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "core/bench_harness.hh"
 #include "workload/dataset.hh"
 
 using namespace howsim::workload;
@@ -13,6 +14,8 @@ using namespace howsim::workload;
 int
 main()
 {
+    howsim::core::BenchHarness harness("table2_datasets");
+
     std::printf("Table 2: datasets for the tasks in the workload\n");
     std::printf("%-10s %8s  %s\n", "task", "size", "characteristics");
     for (auto kind : allTasks) {

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bus/bus.hh"
+#include "core/bench_harness.hh"
 #include "disk/disk.hh"
 #include "net/network.hh"
 #include "sim/random.hh"
@@ -159,6 +160,8 @@ netValidation()
 int
 main()
 {
+    howsim::core::BenchHarness harness("validation");
+
     std::printf("Howsim substrate validation (model vs analytic)\n\n");
     diskValidation();
     busValidation();

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Wall-clock/events-per-second recorder for the benchmark binaries.
+ *
+ * Each bench main() owns one BenchHarness for its whole run. On
+ * destruction the harness merges a record — wall-clock seconds,
+ * simulator events executed, events/sec, worker count, plus any extra
+ * metrics the benchmark attached — into BENCH_events.json (path
+ * overridable via HOWSIM_BENCH_JSON). The committed copy at the repo
+ * root tracks the simulator's performance trajectory PR over PR.
+ */
+
+#ifndef HOWSIM_CORE_BENCH_HARNESS_HH
+#define HOWSIM_CORE_BENCH_HARNESS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace howsim::core
+{
+
+/** RAII perf recorder; see the file comment. */
+class BenchHarness
+{
+  public:
+    explicit BenchHarness(std::string name);
+    ~BenchHarness();
+
+    BenchHarness(const BenchHarness &) = delete;
+    BenchHarness &operator=(const BenchHarness &) = delete;
+
+    /** Attach an extra metric to this benchmark's record. */
+    void metric(const std::string &key, double value);
+
+    /** Seconds elapsed since construction. */
+    double elapsedSeconds() const;
+
+  private:
+    std::string benchName;
+    std::chrono::steady_clock::time_point wallStart;
+    std::uint64_t eventsStart;
+    std::vector<std::pair<std::string, double>> extras;
+};
+
+} // namespace howsim::core
+
+#endif // HOWSIM_CORE_BENCH_HARNESS_HH

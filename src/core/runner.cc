@@ -1,0 +1,75 @@
+#include "core/runner.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace howsim::core
+{
+
+int
+defaultJobs()
+{
+    if (const char *env = std::getenv("HOWSIM_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return static_cast<int>(v);
+        warn("ignoring invalid HOWSIM_JOBS=\"%s\"", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<tasks::TaskResult>
+runExperiments(const std::vector<ExperimentConfig> &configs, int jobs)
+{
+    std::vector<tasks::TaskResult> results(configs.size());
+    if (configs.empty())
+        return results;
+    if (jobs <= 0)
+        jobs = defaultJobs();
+    if (static_cast<std::size_t>(jobs) > configs.size())
+        jobs = static_cast<int>(configs.size());
+
+    if (jobs == 1) {
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            results[i] = runExperiment(configs[i]);
+        return results;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex errorMutex;
+    std::exception_ptr firstError;
+
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= configs.size())
+                return;
+            try {
+                results[i] = runExperiment(configs[i]);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int t = 0; t < jobs; ++t)
+        pool.emplace_back(worker);
+    for (auto &thread : pool)
+        thread.join();
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+    return results;
+}
+
+} // namespace howsim::core

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Batch experiment runner: run many independent experiments across a
+ * pool of worker threads.
+ *
+ * Every figure and table in the paper is a sweep over dozens of
+ * fully independent (architecture, task, scale, variant)
+ * configurations. Each experiment owns its Simulator, and the
+ * "current simulator" pointer is thread-local, so experiments
+ * parallelize with no shared mutable state; results are bit-identical
+ * to a serial run (tests/core/determinism_test.cc proves it).
+ */
+
+#ifndef HOWSIM_CORE_RUNNER_HH
+#define HOWSIM_CORE_RUNNER_HH
+
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace howsim::core
+{
+
+/**
+ * Worker count used when runExperiments() is called with jobs == 0:
+ * the HOWSIM_JOBS environment variable when set to a positive
+ * integer, otherwise std::thread::hardware_concurrency().
+ */
+int defaultJobs();
+
+/**
+ * Run every configuration in @p configs and return their results in
+ * the same order. Experiments are distributed over @p jobs worker
+ * threads (0 = defaultJobs()); the first exception thrown by any
+ * experiment is rethrown after all workers finish.
+ */
+std::vector<tasks::TaskResult>
+runExperiments(const std::vector<ExperimentConfig> &configs,
+               int jobs = 0);
+
+} // namespace howsim::core
+
+#endif // HOWSIM_CORE_RUNNER_HH

@@ -29,7 +29,7 @@ struct Delay
         Simulator *s = Simulator::current();
         if (!s)
             panic("delay awaited outside a simulation");
-        s->scheduleIn(amount, [h] { h.resume(); });
+        s->scheduleIn(amount, h);
     }
 
     void await_resume() const noexcept {}
@@ -71,7 +71,7 @@ class Trigger
         if (!s)
             panic("Trigger fired outside a simulation");
         for (auto h : waiters)
-            s->scheduleAt(s->now(), [h] { h.resume(); });
+            s->scheduleAt(s->now(), h);
         waiters.clear();
     }
 

@@ -264,7 +264,7 @@ class Channel
         Simulator *s = Simulator::current();
         if (!s)
             panic("channel operation outside a simulation");
-        s->scheduleAt(s->now(), [h] { h.resume(); });
+        s->scheduleAt(s->now(), h);
     }
 
     /** After freeing a buffer slot, admit one blocked sender. */

@@ -1,6 +1,6 @@
 #include "sim/event_queue.hh"
 
-#include <memory>
+#include <algorithm>
 #include <utility>
 
 namespace howsim::sim
@@ -9,16 +9,17 @@ namespace howsim::sim
 void
 EventQueue::schedule(Tick when, Action action)
 {
-    heap.push(Entry{when, nextSeq++,
-                    std::make_shared<Action>(std::move(action))});
+    heap.push_back(Entry{when, nextSeq++, std::move(action)});
+    std::push_heap(heap.begin(), heap.end(), After{});
 }
 
 EventQueue::Action
 EventQueue::pop()
 {
-    Entry top = heap.top();
-    heap.pop();
-    return std::move(*top.action);
+    std::pop_heap(heap.begin(), heap.end(), After{});
+    Action action = std::move(heap.back().action);
+    heap.pop_back();
+    return action;
 }
 
 } // namespace howsim::sim

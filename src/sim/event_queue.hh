@@ -6,17 +6,23 @@
  * The sequence number breaks ties so that events scheduled for the
  * same tick execute in scheduling order, which keeps simulations
  * deterministic.
+ *
+ * The heap is a plain std::vector driven by the <algorithm> heap
+ * primitives rather than std::priority_queue: priority_queue::top()
+ * only exposes a const reference, which forces pop() to *copy* the
+ * top entry. Owning the vector lets pop() move the entry out, so the
+ * per-event cost is a handful of memcpys of the move-only
+ * InlineAction payload — no allocation, no refcounting.
  */
 
 #ifndef HOWSIM_SIM_EVENT_QUEUE_HH
 #define HOWSIM_SIM_EVENT_QUEUE_HH
 
+#include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/action.hh"
 #include "sim/ticks.hh"
 
 namespace howsim::sim
@@ -26,10 +32,21 @@ namespace howsim::sim
 class EventQueue
 {
   public:
-    using Action = std::function<void()>;
+    using Action = InlineAction;
 
     /** Schedule @p action to run at absolute time @p when. */
     void schedule(Tick when, Action action);
+
+    /**
+     * Fast path: schedule the resumption of @p h at time @p when.
+     * Equivalent to scheduling [h] { h.resume(); } — the handle is
+     * stored in the action's inline buffer, so no allocation occurs.
+     */
+    void
+    schedule(Tick when, std::coroutine_handle<> h)
+    {
+        schedule(when, Action(h));
+    }
 
     /** True when no events remain. */
     bool empty() const { return heap.empty(); }
@@ -38,13 +55,16 @@ class EventQueue
     std::size_t size() const { return heap.size(); }
 
     /** Time of the earliest pending event. @pre !empty(). */
-    Tick nextTick() const { return heap.top().when; }
+    Tick nextTick() const { return heap.front().when; }
 
     /**
      * Remove and return the earliest pending action.
      * @pre !empty().
      */
     Action pop();
+
+    /** Pre-size the heap for @p n pending events. */
+    void reserve(std::size_t n) { heap.reserve(n); }
 
     /** Total number of events ever scheduled (for stats/tests). */
     std::uint64_t scheduledCount() const { return nextSeq; }
@@ -54,20 +74,22 @@ class EventQueue
     {
         Tick when;
         std::uint64_t seq;
-        // Shared so Entry stays copyable inside std::priority_queue;
-        // the action itself is never copied.
-        std::shared_ptr<Action> action;
+        Action action;
+    };
 
+    /** Min-heap order for the std:: heap algorithms. */
+    struct After
+    {
         bool
-        operator>(const Entry &other) const
+        operator()(const Entry &a, const Entry &b) const noexcept
         {
-            if (when != other.when)
-                return when > other.when;
-            return seq > other.seq;
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    std::vector<Entry> heap;
     std::uint64_t nextSeq = 0;
 };
 

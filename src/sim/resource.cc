@@ -62,8 +62,7 @@ Resource::grantWaiters()
         op->granted = true;
         if (s) {
             waitTicks += s->now() - op->enqueueTick;
-            auto h = op->waiting;
-            s->scheduleAt(s->now(), [h] { h.resume(); });
+            s->scheduleAt(s->now(), op->waiting);
         }
     }
 }

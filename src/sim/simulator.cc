@@ -1,5 +1,6 @@
 #include "sim/simulator.hh"
 
+#include <atomic>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -12,7 +13,19 @@ namespace
 
 thread_local Simulator *currentSim = nullptr;
 
+/**
+ * Accumulated once per Simulator at destruction (never per event), so
+ * the counter costs nothing on the event-loop hot path.
+ */
+std::atomic<std::uint64_t> allSimulatorEvents{0};
+
 } // namespace
+
+std::uint64_t
+totalEventsExecuted()
+{
+    return allSimulatorEvents.load(std::memory_order_relaxed);
+}
 
 Simulator::Simulator()
 {
@@ -27,6 +40,7 @@ Simulator::~Simulator()
     // destructors unlink themselves from channels/resources.
     processes.clear();
     currentSim = previous;
+    allSimulatorEvents.fetch_add(executed, std::memory_order_relaxed);
 }
 
 Simulator *
@@ -49,6 +63,18 @@ void
 Simulator::scheduleIn(Tick delay, EventQueue::Action action)
 {
     queue.schedule(currentTick + delay, std::move(action));
+}
+
+void
+Simulator::scheduleAt(Tick when, std::coroutine_handle<> h)
+{
+    scheduleAt(when, EventQueue::Action(h));
+}
+
+void
+Simulator::scheduleIn(Tick delay, std::coroutine_handle<> h)
+{
+    queue.schedule(currentTick + delay, h);
 }
 
 ProcessRef
@@ -133,7 +159,7 @@ Process::onComplete()
     doneFlag = true;
     error = body.promise().exception;
     for (auto h : joiners)
-        owner.scheduleAt(owner.now(), [h] { h.resume(); });
+        owner.scheduleAt(owner.now(), h);
     joiners.clear();
     if (detached) {
         // Reclaim after the current resume() unwinds; any holder of

@@ -50,6 +50,16 @@ class Simulator
     void scheduleIn(Tick delay, EventQueue::Action action);
 
     /**
+     * Fast path: schedule the resumption of @p h at an absolute tick.
+     * The handle travels in the event's inline buffer — scheduling a
+     * coroutine resumption allocates nothing.
+     */
+    void scheduleAt(Tick when, std::coroutine_handle<> h);
+
+    /** Fast path: resume @p h @p delay ticks from now. */
+    void scheduleIn(Tick delay, std::coroutine_handle<> h);
+
+    /**
      * Start a top-level process at the current time. The returned
      * handle can be joined from other processes; the Simulator keeps
      * the process alive until it is destroyed.
@@ -163,6 +173,13 @@ class Process
 
 /** Join every process in @p procs, in order. */
 Coro<void> joinAll(std::vector<ProcessRef> procs);
+
+/**
+ * Events executed by every Simulator that has completed (been
+ * destroyed) on any thread since process start. The benchmark harness
+ * divides this by wall-clock time to report events/sec.
+ */
+std::uint64_t totalEventsExecuted();
 
 } // namespace howsim::sim
 

@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/experiment.hh"
+#include "core/runner.hh"
 
 using namespace howsim;
 using core::Arch;
@@ -60,4 +63,41 @@ TEST(Determinism, DifferentConfigsDiffer)
     auto a = fingerprint(Arch::ActiveDisk, TaskKind::Select);
     auto b = fingerprint(Arch::Cluster, TaskKind::Select);
     EXPECT_NE(a.elapsed, b.elapsed);
+}
+
+// The batch runner farms experiments out to worker threads. Each
+// experiment owns its Simulator and the current-simulator pointer is
+// thread-local, so a parallel run must be indistinguishable from a
+// serial one: same timings, same byte counts, same accounting
+// buckets, bit for bit.
+TEST(Determinism, ParallelRunnerMatchesSerialBitForBit)
+{
+    std::vector<ExperimentConfig> configs;
+    for (auto arch : {Arch::ActiveDisk, Arch::Cluster, Arch::Smp}) {
+        for (auto task : {TaskKind::Select, TaskKind::GroupBy}) {
+            for (int scale : {4, 8}) {
+                ExperimentConfig config;
+                config.arch = arch;
+                config.task = task;
+                config.scale = scale;
+                configs.push_back(config);
+            }
+        }
+    }
+
+    std::vector<tasks::TaskResult> serial;
+    serial.reserve(configs.size());
+    for (const auto &config : configs)
+        serial.push_back(core::runExperiment(config));
+
+    auto parallel = core::runExperiments(configs, 4);
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("config #" + std::to_string(i));
+        EXPECT_EQ(parallel[i].elapsedTicks, serial[i].elapsedTicks);
+        EXPECT_EQ(parallel[i].interconnectBytes,
+                  serial[i].interconnectBytes);
+        EXPECT_EQ(parallel[i].buckets.all(), serial[i].buckets.all());
+    }
 }

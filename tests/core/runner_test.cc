@@ -1,0 +1,105 @@
+/** @file Unit tests for the batch experiment runner. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/runner.hh"
+#include "sim/logging.hh"
+
+using namespace howsim;
+using core::Arch;
+using core::ExperimentConfig;
+using workload::TaskKind;
+
+namespace
+{
+
+ExperimentConfig
+smallConfig(TaskKind task, int scale)
+{
+    ExperimentConfig config;
+    config.arch = Arch::ActiveDisk;
+    config.task = task;
+    config.scale = scale;
+    return config;
+}
+
+/** Restores HOWSIM_JOBS on scope exit. */
+class JobsEnvGuard
+{
+  public:
+    JobsEnvGuard()
+    {
+        const char *v = std::getenv("HOWSIM_JOBS");
+        hadValue = v != nullptr;
+        if (hadValue)
+            saved = v;
+    }
+
+    ~JobsEnvGuard()
+    {
+        if (hadValue)
+            setenv("HOWSIM_JOBS", saved.c_str(), 1);
+        else
+            unsetenv("HOWSIM_JOBS");
+    }
+
+  private:
+    bool hadValue = false;
+    std::string saved;
+};
+
+} // namespace
+
+TEST(Runner, EmptyBatchReturnsEmpty)
+{
+    EXPECT_TRUE(core::runExperiments({}, 4).empty());
+}
+
+TEST(Runner, PreservesInputOrder)
+{
+    // Different scales give strictly different elapsed times, so a
+    // shuffled result vector would be caught.
+    std::vector<ExperimentConfig> configs;
+    for (int scale : {2, 4, 8})
+        configs.push_back(smallConfig(TaskKind::Select, scale));
+
+    auto batch = core::runExperiments(configs, 3);
+    ASSERT_EQ(batch.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        auto expected = core::runExperiment(configs[i]);
+        EXPECT_EQ(batch[i].elapsedTicks, expected.elapsedTicks)
+            << "scale " << configs[i].scale;
+    }
+}
+
+TEST(Runner, MoreWorkersThanConfigsIsFine)
+{
+    std::vector<ExperimentConfig> configs
+        = {smallConfig(TaskKind::Select, 2)};
+    auto batch = core::runExperiments(configs, 16);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_GT(batch[0].elapsedTicks, 0u);
+}
+
+TEST(Runner, DefaultJobsHonorsEnvOverride)
+{
+    JobsEnvGuard guard;
+    setenv("HOWSIM_JOBS", "3", 1);
+    EXPECT_EQ(core::defaultJobs(), 3);
+}
+
+TEST(Runner, DefaultJobsIgnoresGarbageEnv)
+{
+    JobsEnvGuard guard;
+    howsim::setQuiet(true);
+    setenv("HOWSIM_JOBS", "lots", 1);
+    EXPECT_GE(core::defaultJobs(), 1);
+    setenv("HOWSIM_JOBS", "0", 1);
+    EXPECT_GE(core::defaultJobs(), 1);
+    setenv("HOWSIM_JOBS", "-2", 1);
+    EXPECT_GE(core::defaultJobs(), 1);
+}
