@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Observability-overhead microbenchmark.
+ *
+ * The obs subsystem's contract is that the disabled path costs one
+ * predictable branch per instrumentation site, so simulations that
+ * never set HOWSIM_TRACE_DIR/HOWSIM_METRICS keep PR 1's hot-path
+ * numbers. This bench quantifies that on the same coroutine
+ * delay-chain micro_events uses:
+ *
+ *  - disabled:  no instrumentation in the loop body at all (the
+ *               baseline the event loop itself achieves),
+ *  - guarded:   a per-hop obs::Span guard with no session installed
+ *               (the disabled path every instrumented call site
+ *               pays),
+ *  - enabled:   the same body with a live in-memory session, spans
+ *               and all (what tracing actually costs when on).
+ *
+ * Best-of-reps is reported to shed scheduler noise. With
+ * --check-overhead=<pct> the binary exits non-zero if the guarded
+ * path falls more than <pct> percent short of the disabled path —
+ * CI's regression gate for the zero-cost claim.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/bench_harness.hh"
+#include "obs/obs.hh"
+#include "sim/awaitables.hh"
+#include "sim/coro.hh"
+#include "sim/simulator.hh"
+
+using namespace howsim;
+using namespace howsim::sim;
+
+namespace
+{
+
+constexpr int kProcs = 500;
+constexpr int kHops = 2000;
+constexpr int kReps = 5;
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+Coro<void>
+plainChain(int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_await delay(1);
+}
+
+Coro<void>
+guardedChain(int n)
+{
+    for (int i = 0; i < n; ++i) {
+        // The per-hop guard every instrumented call site pays when
+        // observability is off: one thread-local read and branch.
+        obs::Span span("bench", "hop");
+        co_await delay(1);
+    }
+}
+
+/** Host events/sec for one delay-chain run. */
+double
+chainEventsPerSec(bool guarded)
+{
+    auto start = std::chrono::steady_clock::now();
+    std::uint64_t executed = 0;
+    {
+        Simulator sim;
+        for (int p = 0; p < kProcs; ++p)
+            sim.spawn(guarded ? guardedChain(kHops)
+                              : plainChain(kHops));
+        sim.run();
+        executed = sim.eventsExecuted();
+    }
+    return static_cast<double>(executed) / secondsSince(start);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double failAbovePct = -1.0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--check-overhead=", 17) == 0)
+            failAbovePct = std::atof(argv[i] + 17);
+    }
+
+    core::BenchHarness harness("micro_obs");
+
+    // Interleave reps so frequency drift hits both variants alike.
+    double disabled = 0, guarded = 0;
+    for (int r = 0; r < kReps; ++r) {
+        disabled = std::max(disabled, chainEventsPerSec(false));
+        guarded = std::max(guarded, chainEventsPerSec(true));
+    }
+
+    // Enabled path: a live in-memory session (no output files), so
+    // the number includes span recording and timeline sampling.
+    double enabled = 0;
+    for (int r = 0; r < kReps; ++r) {
+        obs::Session session("micro_obs", obs::Session::Options{});
+        enabled = std::max(enabled, chainEventsPerSec(true));
+    }
+
+    double overheadPct =
+        std::max(0.0, (disabled - guarded) / disabled * 100.0);
+
+    std::printf("observability microbenchmark (host events/sec)\n");
+    std::printf("  %-34s %12.3g\n", "disabled (no instrumentation)",
+                disabled);
+    std::printf("  %-34s %12.3g\n", "guarded (span guard, obs off)",
+                guarded);
+    std::printf("  %-34s %12.3g\n", "enabled (in-memory session)",
+                enabled);
+    std::printf("  %-34s %11.2f%%\n", "disabled-path overhead",
+                overheadPct);
+
+    harness.metric("disabled_events_per_sec", disabled);
+    harness.metric("guarded_events_per_sec", guarded);
+    harness.metric("enabled_events_per_sec", enabled);
+    harness.metric("disabled_overhead_pct", overheadPct);
+
+    if (failAbovePct >= 0.0 && overheadPct > failAbovePct) {
+        std::fprintf(stderr,
+                     "FAIL: disabled-path overhead %.2f%% exceeds "
+                     "%.2f%%\n",
+                     overheadPct, failAbovePct);
+        return 1;
+    }
+    return 0;
+}

@@ -1,5 +1,6 @@
 #include "bus/bus.hh"
 
+#include "obs/obs.hh"
 #include "sim/awaitables.hh"
 #include "sim/logging.hh"
 
@@ -28,6 +29,13 @@ Bus::Bus(sim::Simulator &s, BusParams params)
     : simulator(s), busParams(validated(params)),
       slots(busParams.channels)
 {
+    if (obs::Session *session = obs::session()) {
+        obs::Scope scope(session->metrics(), busParams.name);
+        obsBytes = &scope.counter("bytes");
+        obsTransfers = &scope.counter("transfers");
+        if (busParams.probeTimeline)
+            slots.observe(busParams.name);
+    }
 }
 
 sim::Coro<void>
@@ -41,6 +49,10 @@ Bus::transfer(std::uint64_t bytes)
     ++accumulated.transfers;
     accumulated.bytes += bytes;
     accumulated.busyTicks += occupancy;
+    if (obsBytes) {
+        obsBytes->add(bytes);
+        obsTransfers->add();
+    }
 }
 
 } // namespace howsim::bus

@@ -23,6 +23,11 @@
 #include "sim/simulator.hh"
 #include "sim/ticks.hh"
 
+namespace howsim::obs
+{
+class Counter;
+} // namespace howsim::obs
+
 namespace howsim::bus
 {
 
@@ -39,6 +44,14 @@ struct BusParams
 
     /** Per-transfer arbitration/startup latency. */
     sim::Tick startup = sim::microseconds(1);
+
+    /**
+     * Register occupancy timeline probes with the observability
+     * session. Totals counters are always kept; instantiators of
+     * many buses (one per cluster host) turn the probes off to keep
+     * trace counter tracks bounded.
+     */
+    bool probeTimeline = true;
 
     /** Aggregate bandwidth over all channels, bytes/second. */
     double
@@ -144,6 +157,9 @@ class Bus
     BusParams busParams;
     sim::Resource slots;
     BusStats accumulated;
+    // Cached observability hooks; null when observability is off.
+    obs::Counter *obsBytes = nullptr;
+    obs::Counter *obsTransfers = nullptr;
 };
 
 } // namespace howsim::bus

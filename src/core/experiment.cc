@@ -1,10 +1,14 @@
 #include "core/experiment.hh"
 
+#include <atomic>
+
 #include "arch/cluster_machine.hh"
 #include "arch/cost_model.hh"
 #include "diskos/active_disk_array.hh"
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 #include "sim/simulator.hh"
+#include "workload/task_kind.hh"
 #include "smp/smp_machine.hh"
 #include "tasks/ad_tasks.hh"
 #include "tasks/cluster_tasks.hh"
@@ -27,10 +31,38 @@ archName(Arch arch)
     panic("unknown Arch");
 }
 
+namespace
+{
+
+/**
+ * A per-process monotonic experiment number keeps output file names
+ * unique (and sortable by launch order) even when several experiments
+ * share an (arch, task, scale) tuple or run concurrently under the
+ * parallel runner.
+ */
+std::string
+experimentLabel(const ExperimentConfig &config)
+{
+    static std::atomic<unsigned> nextExperiment{0};
+    unsigned seq = nextExperiment.fetch_add(1,
+                                            std::memory_order_relaxed);
+    return strprintf("%03u_%s_%s_d%d", seq,
+                     archName(config.arch).c_str(),
+                     workload::taskName(config.task).c_str(),
+                     config.scale);
+}
+
+} // namespace
+
 tasks::TaskResult
 runExperiment(const ExperimentConfig &config)
 {
     auto data = workload::DatasetSpec::forTask(config.task);
+    // One observability session per experiment (active only when the
+    // HOWSIM_TRACE_DIR / HOWSIM_METRICS switches are set). Each
+    // session is thread-local and writes its own files, so the
+    // parallel runner needs no cross-thread merging.
+    auto obsSession = obs::Session::fromEnv(experimentLabel(config));
     sim::Simulator simulator;
     switch (config.arch) {
       case Arch::ActiveDisk: {
@@ -43,7 +75,10 @@ runExperiment(const ExperimentConfig &config)
         diskos::ActiveDiskArray machine(simulator, config.scale,
                                         config.drive, params);
         tasks::AdTaskRunner runner(simulator, machine, config.costs);
-        return runner.run(config.task, data);
+        auto result = runner.run(config.task, data);
+        if (obsSession)
+            obsSession->dump(); // while probed components are alive
+        return result;
       }
       case Arch::Cluster: {
         arch::ClusterParams params;
@@ -51,7 +86,10 @@ runExperiment(const ExperimentConfig &config)
                                      config.drive, params);
         tasks::ClusterTaskRunner runner(simulator, machine,
                                         config.costs);
-        return runner.run(config.task, data);
+        auto result = runner.run(config.task, data);
+        if (obsSession)
+            obsSession->dump();
+        return result;
       }
       case Arch::Smp: {
         smp::SmpParams params;
@@ -60,7 +98,10 @@ runExperiment(const ExperimentConfig &config)
         smp::SmpMachine machine(simulator, config.scale, config.scale,
                                 config.drive, params);
         tasks::SmpTaskRunner runner(simulator, machine, config.costs);
-        return runner.run(config.task, data);
+        auto result = runner.run(config.task, data);
+        if (obsSession)
+            obsSession->dump();
+        return result;
       }
     }
     panic("unknown Arch");

@@ -55,10 +55,24 @@ Table::print(std::FILE *out) const
 std::string
 Table::toCsv() const
 {
+    // RFC 4180: quote any cell containing a comma, a double quote,
+    // or a line break, doubling embedded quotes.
+    auto field = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\r\n") == std::string::npos)
+            return cell;
+        std::string quoted = "\"";
+        for (char c : cell) {
+            quoted += c;
+            if (c == '"')
+                quoted += '"';
+        }
+        quoted += '"';
+        return quoted;
+    };
     std::string out;
     auto emit = [&](const std::vector<std::string> &cells) {
         for (std::size_t c = 0; c < cells.size(); ++c) {
-            out += cells[c];
+            out += field(cells[c]);
             out += c + 1 < cells.size() ? "," : "\n";
         }
     };

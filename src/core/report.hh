@@ -29,7 +29,10 @@ class Table
     /** Render with aligned columns to @p out (default stdout). */
     void print(std::FILE *out = stdout) const;
 
-    /** RFC-4180-ish CSV (no quoting needed for our content). */
+    /**
+     * RFC-4180 CSV: cells containing commas, double quotes, or line
+     * breaks are quoted, with embedded quotes doubled.
+     */
     std::string toCsv() const;
 
     /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 
 namespace howsim::disk
@@ -15,7 +16,34 @@ Disk::Disk(sim::Simulator &s, DiskSpec spec, SchedPolicy pol,
       seeks(geom.diskSpec(), geom.diskSpec().totalCylinders()),
       policy(pol), diskName(std::move(name))
 {
+    if (obs::Session *session = obs::session()) {
+        obsSess = session;
+        obsSink = &session->trace();
+        obsTrack = session->trace().track(diskName);
+        obsFine = session->fine();
+        obs::Scope scope(session->metrics(), diskName);
+        obsBytesRead = &scope.counter("bytes_read");
+        obsBytesWritten = &scope.counter("bytes_written");
+        obsCacheHits = &scope.counter("cache_hit_bytes");
+        obsRequests = &scope.counter("requests");
+        obsSeeks = &scope.counter("seeks");
+        obsService = &scope.histogram("service_ticks");
+        obsQueueWait = &scope.histogram("queue_ticks");
+        obsSeekHist = &scope.histogram("seek_ticks");
+        session->timeline().probe(
+            diskName + ".queue_depth",
+            [this] { return static_cast<double>(queue.size()); },
+            this);
+    }
     simulator.spawn(serviceLoop(), diskName + ".service");
+}
+
+Disk::~Disk()
+{
+    // Only deregister while the session we registered with is still
+    // installed; once it unwinds, its dump() already cleared probes.
+    if (obsSess && obs::session() == obsSess)
+        obsSess->timeline().dropProbes(this);
 }
 
 std::uint64_t
@@ -178,6 +206,8 @@ Disk::computeTiming(const DiskRequest &req)
         if (dist > 0) {
             d.seekTicks = seeks.seekTicks(dist, req.write);
             ++accumulated.seeks;
+            if (obsSeeks)
+                obsSeeks->add();
         } else if (start.track != headTrack) {
             d.seekTicks = sim::fromSeconds(
                 diskSpec->headSwitchMs * 1e-3);
@@ -262,6 +292,8 @@ Disk::serviceLoop()
             trace->push_back(TraceRecord{service_start, pending->req,
                                          pending->detail});
         }
+        if (obsSink)
+            recordObs(service_start, *pending);
 
         const auto &det = pending->detail;
         const auto &req = pending->req;
@@ -280,6 +312,58 @@ Disk::serviceLoop()
             accumulated.bytesRead += bytes;
         pending->done.fire();
     }
+}
+
+/**
+ * Emit one request's trace span and metric samples. The request span
+ * covers mechanism service time (queueing is visible as the gap from
+ * arrival and is captured by the queue_ticks histogram); at fine
+ * detail the span nests overhead/seek/rotate/media sub-slices.
+ */
+void
+Disk::recordObs(sim::Tick serviceStart, const Pending &pending)
+{
+    const AccessDetail &det = pending.detail;
+    const DiskRequest &req = pending.req;
+    std::uint64_t bytes = static_cast<std::uint64_t>(req.sectors)
+                          * diskSpec->sectorBytes;
+
+    obsSink->complete(obsTrack, req.write ? "write" : "read", "disk",
+                      serviceStart, det.serviceTicks());
+    if (obsFine) {
+        sim::Tick t = serviceStart;
+        if (det.overheadTicks) {
+            obsSink->complete(obsTrack, "overhead", "disk.phase", t,
+                              det.overheadTicks);
+            t += det.overheadTicks;
+        }
+        if (det.seekTicks) {
+            obsSink->complete(obsTrack, "seek", "disk.phase", t,
+                              det.seekTicks);
+            t += det.seekTicks;
+        }
+        if (det.rotationTicks) {
+            obsSink->complete(obsTrack, "rotate", "disk.phase", t,
+                              det.rotationTicks);
+            t += det.rotationTicks;
+        }
+        if (det.mediaTicks) {
+            obsSink->complete(obsTrack, "media", "disk.phase", t,
+                              det.mediaTicks);
+        }
+    }
+
+    obsRequests->add();
+    obsService->sample(det.serviceTicks());
+    obsQueueWait->sample(det.queueTicks);
+    if (det.seekTicks)
+        obsSeekHist->sample(det.seekTicks);
+    if (det.cacheHitBytes)
+        obsCacheHits->add(det.cacheHitBytes);
+    if (req.write)
+        obsBytesWritten->add(bytes);
+    else
+        obsBytesRead->add(bytes);
 }
 
 } // namespace howsim::disk

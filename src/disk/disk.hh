@@ -30,6 +30,14 @@
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
 
+namespace howsim::obs
+{
+class Counter;
+class Histogram;
+class Session;
+class TraceSink;
+} // namespace howsim::obs
+
 namespace howsim::disk
 {
 
@@ -113,6 +121,8 @@ class Disk
     Disk(const Disk &) = delete;
     Disk &operator=(const Disk &) = delete;
 
+    ~Disk();
+
     /**
      * Issue a request and suspend until the mechanism completes.
      * Multiple outstanding requests queue per the scheduling policy.
@@ -132,7 +142,10 @@ class Disk
 
     /**
      * Record every serviced request into @p sink (null disables).
-     * The sink must outlive the drive or be detached first.
+     * The sink must outlive the drive or be detached first. Kept for
+     * in-process analysis (see examples/trace_explorer.cpp); the
+     * observability session records the same decomposition as trace
+     * spans and histograms without any per-drive wiring.
      */
     void traceTo(std::vector<TraceRecord> *sink) { trace = sink; }
 
@@ -148,6 +161,7 @@ class Disk
     sim::Coro<void> serviceLoop();
     std::shared_ptr<Pending> pickNext();
     AccessDetail computeTiming(const DiskRequest &req);
+    void recordObs(sim::Tick serviceStart, const Pending &pending);
 
     /** Fraction of a revolution the platter covers by time @p t. */
     double angleAt(sim::Tick t) const;
@@ -185,6 +199,21 @@ class Disk
 
     std::vector<TraceRecord> *trace = nullptr;
     DiskStats accumulated;
+
+    // Cached observability hooks; all null when observability is off,
+    // so the service loop pays one null check per request.
+    obs::Session *obsSess = nullptr;
+    obs::TraceSink *obsSink = nullptr;
+    std::uint32_t obsTrack = 0;
+    bool obsFine = false;
+    obs::Counter *obsBytesRead = nullptr;
+    obs::Counter *obsBytesWritten = nullptr;
+    obs::Counter *obsCacheHits = nullptr;
+    obs::Counter *obsRequests = nullptr;
+    obs::Counter *obsSeeks = nullptr;
+    obs::Histogram *obsService = nullptr;
+    obs::Histogram *obsQueueWait = nullptr;
+    obs::Histogram *obsSeekHist = nullptr;
 };
 
 } // namespace howsim::disk

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/obs.hh"
 #include "sim/awaitables.hh"
 #include "sim/logging.hh"
 
@@ -39,6 +40,12 @@ ActiveDiskArray::ActiveDiskArray(sim::Simulator &s, int ndisks,
             adParams.costs.contextSwitch);
         drv.commBuffers = std::make_unique<sim::Resource>(
             adParams.commBuffers());
+        // Per-drive buffer pools: histograms always, timeline probes
+        // only at fine detail (there is one pool per drive).
+        obs::Session *session = obs::session();
+        drv.commBuffers->observe("ad" + std::to_string(d)
+                                     + ".comm_buffers",
+                                 session && session->fine());
         drv.inbox = std::make_unique<sim::Channel<AdBlock>>(
             inboxCapacity(adParams));
     }
@@ -46,6 +53,7 @@ ActiveDiskArray::ActiveDiskArray(sim::Simulator &s, int ndisks,
         adParams.frontendCpuMhz, os::referenceCpuMhz,
         os::OsCosts::measuredPentiumII().contextSwitch);
     feBuffers = std::make_unique<sim::Resource>(adParams.frontendBuffers);
+    feBuffers->observe("frontend.buffers");
     feInbox = std::make_unique<sim::Channel<AdBlock>>();
     // Barrier completion modeled as a logarithmic exchange over the
     // serial interconnect.

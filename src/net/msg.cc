@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/obs.hh"
 #include "sim/awaitables.hh"
 #include "sim/logging.hh"
 
@@ -12,6 +13,11 @@ namespace howsim::net
 MsgLayer::MsgLayer(sim::Simulator &s, Network &n, MsgParams params)
     : simulator(s), network(n), msgParams(params)
 {
+    if (obs::Session *session = obs::session()) {
+        obsSess = session;
+        obsMsgs = &session->metrics().counter("msg.sent");
+        obsBytes = &session->metrics().counter("msg.bytes");
+    }
 }
 
 MsgLayer::Queue &
@@ -29,10 +35,25 @@ sim::Coro<void>
 MsgLayer::send(int src, int dst, Message msg)
 {
     msg.src = src;
+    // Span covering send-post to delivery into the destination
+    // queue; overlapping sends coexist as distinct async ids.
+    std::uint64_t spanId = 0;
+    if (obsSess) {
+        spanId = obsSess->trace().asyncBegin(
+            "msg", strprintf("msg %d->%d", src, dst),
+            simulator.now());
+        obsMsgs->add();
+        obsBytes->add(msg.bytes);
+    }
     co_await sim::delay(msgParams.sendOverhead);
     co_await network.transport(src, dst, msg.bytes);
     int tag = msg.tag;
     co_await queueFor(dst, tag).send(std::move(msg));
+    if (spanId) {
+        obsSess->trace().asyncEnd("msg",
+                                  strprintf("msg %d->%d", src, dst),
+                                  spanId, simulator.now());
+    }
 }
 
 sim::ProcessRef

@@ -24,6 +24,11 @@
 #include "sim/simulator.hh"
 #include "sim/ticks.hh"
 
+namespace howsim::obs
+{
+class Session;
+} // namespace howsim::obs
+
 namespace howsim::net
 {
 
@@ -88,6 +93,10 @@ class MsgLayer
     Network &network;
     MsgParams msgParams;
     std::map<std::pair<int, int>, std::unique_ptr<Queue>> queues;
+    // Cached observability hooks; null when observability is off.
+    obs::Session *obsSess = nullptr;
+    obs::Counter *obsMsgs = nullptr;
+    obs::Counter *obsBytes = nullptr;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 
 namespace howsim::net
@@ -15,29 +16,45 @@ Network::Network(sim::Simulator &s, int host_count, NetParams params)
     if (netParams.hostsPerSwitch <= 0)
         panic("Network: hostsPerSwitch must be positive");
 
+    obs::Session *session = obs::session();
     hosts.resize(static_cast<std::size_t>(host_count));
+    int hostIdx = 0;
     for (auto &h : hosts) {
+        // Per-instance names so each NIC gets its own utilization
+        // counters ("net.h3.tx.bytes") when observability is on.
+        // There are two NICs per host, so their occupancy timeline
+        // probes are fine-detail only; the few shared uplinks keep
+        // theirs at any detail (Figure 2's utilization story).
         bus::BusParams link;
-        link.name = "host-link";
         link.channels = 1;
         link.channelRate = netParams.hostLinkRate;
         link.startup = 0; // latency handled per hop
+        link.probeTimeline = session && session->fine();
+        link.name = strprintf("net.h%d.tx", hostIdx);
         h.tx = std::make_unique<bus::Bus>(s, link);
+        link.name = strprintf("net.h%d.rx", hostIdx);
         h.rx = std::make_unique<bus::Bus>(s, link);
+        ++hostIdx;
     }
 
     int nedges = (host_count + netParams.hostsPerSwitch - 1)
                  / netParams.hostsPerSwitch;
     edges.resize(static_cast<std::size_t>(nedges));
+    int edgeIdx = 0;
     for (auto &e : edges) {
         bus::BusParams up;
-        up.name = "uplink";
         up.channels = netParams.uplinksPerSwitch;
         up.channelRate = netParams.uplinkRate;
         up.startup = 0;
+        up.name = strprintf("net.sw%d.up", edgeIdx);
         e.up = std::make_unique<bus::Bus>(s, up);
+        up.name = strprintf("net.sw%d.down", edgeIdx);
         e.down = std::make_unique<bus::Bus>(s, up);
+        ++edgeIdx;
     }
+
+    if (obs::Session *session = obs::session())
+        obsMoved = &session->metrics().counter("net.bytes_moved");
 }
 
 const HostTraffic &
@@ -103,6 +120,8 @@ Network::transport(int src, int dst, std::uint64_t bytes)
     hosts[static_cast<std::size_t>(src)].traffic.bytesSent += bytes;
     hosts[static_cast<std::size_t>(dst)].traffic.bytesReceived += bytes;
     movedBytes += bytes;
+    if (obsMoved)
+        obsMoved->add(bytes);
 }
 
 } // namespace howsim::net

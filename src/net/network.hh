@@ -29,6 +29,11 @@
 #include "sim/simulator.hh"
 #include "sim/ticks.hh"
 
+namespace howsim::obs
+{
+class Counter;
+} // namespace howsim::obs
+
 namespace howsim::net
 {
 
@@ -112,6 +117,7 @@ class Network
     std::vector<Host> hosts;
     std::vector<Edge> edges;
     std::uint64_t movedBytes = 0;
+    obs::Counter *obsMoved = nullptr; //!< null when obs is off
 };
 
 } // namespace howsim::net

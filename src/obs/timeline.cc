@@ -1,0 +1,32 @@
+#include "obs/timeline.hh"
+
+namespace howsim::obs
+{
+
+void
+Timeline::sampleNow(sim::Tick now)
+{
+    for (Probe &p : probes) {
+        double v = p.fn();
+        // Counter tracks are step functions in the viewers, so only
+        // changes (and the first sample) need an event.
+        if (p.hasLast && v == p.last)
+            continue;
+        p.last = v;
+        p.hasLast = true;
+        sink->counter(p.name, now, v);
+    }
+    // Schedule relative to now, not nextDue: after a long quiet gap
+    // we want one sample, not a burst of catch-up samples.
+    //
+    // Adaptive decimation: runs can simulate arbitrary spans, so a
+    // fixed interval would emit unbounded counter samples. Doubling
+    // the interval every decimateEvery samples caps each octave of
+    // simulated time at a fixed sample budget while keeping early
+    // (short-run) resolution fine.
+    if (++samplesTaken % decimateEvery == 0)
+        interval *= 2;
+    nextDue = now + interval;
+}
+
+} // namespace howsim::obs

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Periodic sampler turning component state into counter tracks.
+ *
+ * Components register probes — named callbacks returning the current
+ * value of some occupancy or utilization figure (queue length, units
+ * in use). The simulator calls maybeSample(now) from its event loop;
+ * whenever at least one sample interval has elapsed since the last
+ * sample, every probe is read and changed values are emitted as
+ * Chrome counter ("C") events into the TraceSink.
+ *
+ * Sampling is event-driven on purpose: between DES events nothing in
+ * the simulated world changes, so a self-scheduling sampler process
+ * would only add ticks to the event queue (and keep it from ever
+ * draining). The cost when due is one comparison per event plus the
+ * probe reads; when no session is active the simulator never calls
+ * in here at all.
+ */
+
+#ifndef HOWSIM_OBS_TIMELINE_HH
+#define HOWSIM_OBS_TIMELINE_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/trace_sink.hh"
+#include "sim/ticks.hh"
+
+namespace howsim::obs
+{
+
+/** Probe registry + due-time check; see the file comment. */
+class Timeline
+{
+  public:
+    using ProbeFn = std::function<double()>;
+
+    Timeline(TraceSink &s, sim::Tick sampleInterval)
+        : sink(&s), interval(sampleInterval)
+    {
+    }
+
+    /**
+     * Register @p fn to be sampled as counter track @p name. The
+     * callback must stay valid until it is dropped: components that
+     * can die before the session pass themselves as @p owner and
+     * call dropProbes(this) from their destructor; everything else
+     * is cleared by the owning Session's dump().
+     */
+    void
+    probe(std::string name, ProbeFn fn, const void *owner = nullptr)
+    {
+        probes.push_back(
+            {std::move(name), std::move(fn), owner, 0.0, false});
+    }
+
+    /** Drop the probes registered with @p owner. */
+    void
+    dropProbes(const void *owner)
+    {
+        std::erase_if(probes, [owner](const Probe &p) {
+            return p.owner == owner;
+        });
+    }
+
+    /** Drop every registered probe. */
+    void clearProbes() { probes.clear(); }
+
+    std::size_t probeCount() const { return probes.size(); }
+
+    sim::Tick sampleInterval() const { return interval; }
+
+    /** Cheap per-event check; samples only when an interval elapsed. */
+    void
+    maybeSample(sim::Tick now)
+    {
+        if (now >= nextDue)
+            sampleNow(now);
+    }
+
+    /** Read every probe, emitting counter events for changed values. */
+    void sampleNow(sim::Tick now);
+
+  private:
+    struct Probe
+    {
+        std::string name;
+        ProbeFn fn;
+        const void *owner;
+        double last;
+        bool hasLast;
+    };
+
+    /** Samples after which the interval doubles (see sampleNow). */
+    static constexpr std::uint64_t decimateEvery = 16384;
+
+    TraceSink *sink;
+    sim::Tick interval;
+    sim::Tick nextDue = 0;
+    std::uint64_t samplesTaken = 0;
+    std::vector<Probe> probes;
+};
+
+} // namespace howsim::obs
+
+#endif // HOWSIM_OBS_TIMELINE_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Chrome trace-event sink.
+ *
+ * Buffers timeline events during a simulation and serializes them as
+ * Chrome trace-event JSON (the "trace_events" format understood by
+ * Perfetto and chrome://tracing). Four event shapes are used:
+ *
+ *  - complete ("X"): a duration slice on a named track (disk request
+ *    phases, task phases, disklet compute),
+ *  - async begin/end ("b"/"e"): spans that overlap freely (process
+ *    lifetimes, message send-to-deliver),
+ *  - counter ("C"): sampled value tracks (queue depths, utilization),
+ *  - instant ("i"): point markers.
+ *
+ * Tracks map to trace "threads"; track 0 is the simulator itself.
+ * All timestamps are simulated ticks (nanoseconds) and serialize as
+ * microseconds, the unit the trace viewers expect.
+ *
+ * The sink is single-threaded by design: each experiment (and thus
+ * each worker thread of the parallel runner) owns its own sink via
+ * its obs::Session, and files are written per experiment at session
+ * teardown — no cross-thread merging or locking is ever needed.
+ */
+
+#ifndef HOWSIM_OBS_TRACE_SINK_HH
+#define HOWSIM_OBS_TRACE_SINK_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace howsim::obs
+{
+
+/** Buffered trace-event recorder; see the file comment. */
+class TraceSink
+{
+  public:
+    using TrackId = std::uint32_t;
+
+    /** One buffered event (public so tests can inspect the stream). */
+    struct Event
+    {
+        char ph = 'X';
+        TrackId tid = 0;
+        const char *cat = "span";
+        std::string name;
+        sim::Tick ts = 0;
+        sim::Tick dur = 0;
+        std::uint64_t id = 0;
+        double value = 0.0;
+    };
+
+    TraceSink();
+
+    /** Find or create the track (trace "thread") named @p name. */
+    TrackId track(const std::string &name);
+
+    /** A duration slice [start, start+dur) on @p tid. */
+    void complete(TrackId tid, std::string name, const char *cat,
+                  sim::Tick start, sim::Tick dur);
+
+    /**
+     * Open an async span; returns the id to close it with. Async
+     * spans match on (cat, id), so overlapping spans of the same
+     * kind coexist.
+     */
+    std::uint64_t asyncBegin(const char *cat, std::string name,
+                             sim::Tick ts);
+
+    /** Close the async span @p id opened with the same cat/name. */
+    void asyncEnd(const char *cat, std::string name, std::uint64_t id,
+                  sim::Tick ts);
+
+    /** A sample on the counter track @p name. */
+    void counter(std::string name, sim::Tick ts, double value);
+
+    /** A point marker on @p tid. */
+    void instant(TrackId tid, std::string name, const char *cat,
+                 sim::Tick ts);
+
+    std::size_t eventCount() const { return events.size(); }
+    std::size_t trackCount() const { return trackNames.size(); }
+    const std::vector<Event> &allEvents() const { return events; }
+    const std::string &trackName(TrackId t) const
+    {
+        return trackNames[t];
+    }
+
+    /** Pre-size the buffer for @p n events. */
+    void reserve(std::size_t n) { events.reserve(n); }
+
+    /**
+     * Serialize everything as one Chrome trace JSON object,
+     * including process/thread-name metadata. @p label names the
+     * trace "process" (typically the experiment label).
+     */
+    void writeJson(std::ostream &out, const std::string &label) const;
+
+  private:
+    std::vector<Event> events;
+    std::vector<std::string> trackNames;
+    std::map<std::string, TrackId> trackIds;
+    std::uint64_t nextAsync = 1;
+};
+
+} // namespace howsim::obs
+
+#endif // HOWSIM_OBS_TRACE_SINK_HH

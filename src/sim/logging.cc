@@ -11,7 +11,32 @@ namespace howsim
 namespace
 {
 
-bool quietMode = false;
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("HOWSIM_LOG_LEVEL");
+    if (!env)
+        return LogLevel::Info;
+    std::string v(env);
+    if (v == "quiet")
+        return LogLevel::Quiet;
+    if (v == "warn")
+        return LogLevel::Warn;
+    if (v != "info") {
+        std::fprintf(stderr,
+                     "warn: HOWSIM_LOG_LEVEL '%s' is not one of "
+                     "quiet|warn|info; using info\n",
+                     env);
+    }
+    return LogLevel::Info;
+}
+
+LogLevel &
+levelRef()
+{
+    static LogLevel level = levelFromEnv();
+    return level;
+}
 
 std::string
 vstrprintf(const char *fmt, va_list args)
@@ -64,7 +89,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (quietMode)
+    if (logLevel() < LogLevel::Warn)
         return;
     va_list args;
     va_start(args, fmt);
@@ -76,7 +101,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (quietMode)
+    if (logLevel() < LogLevel::Info)
         return;
     va_list args;
     va_start(args, fmt);
@@ -85,10 +110,22 @@ inform(const char *fmt, ...)
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
+LogLevel
+logLevel()
+{
+    return levelRef();
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelRef() = level;
+}
+
 void
 setQuiet(bool quiet)
 {
-    quietMode = quiet;
+    levelRef() = quiet ? LogLevel::Quiet : LogLevel::Info;
 }
 
 } // namespace howsim

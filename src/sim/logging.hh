@@ -41,7 +41,28 @@ void warn(const char *fmt, ...)
 void inform(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Suppress warn()/inform() output (used by tests). */
+/**
+ * Verbosity of the non-fatal channels. Quiet drops warn() and
+ * inform(); Warn drops only inform(); Info (the default) prints
+ * both. panic()/fatal() always print.
+ */
+enum class LogLevel
+{
+    Quiet,
+    Warn,
+    Info,
+};
+
+/**
+ * The active level: the HOWSIM_LOG_LEVEL environment variable
+ * (quiet|warn|info) unless overridden via setLogLevel()/setQuiet().
+ */
+LogLevel logLevel();
+
+/** Override the log level (wins over HOWSIM_LOG_LEVEL). */
+void setLogLevel(LogLevel level);
+
+/** Legacy switch: quiet maps to LogLevel::Quiet, else Info. */
 void setQuiet(bool quiet);
 
 } // namespace howsim

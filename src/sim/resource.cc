@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 
 namespace howsim::sim
@@ -17,6 +18,29 @@ Resource::~Resource()
 {
     for (AcquireOp *op : waiters)
         op->enqueued = false;
+    // Only deregister while the session we registered with is still
+    // installed; once it unwinds, its dump() already cleared probes.
+    if (obsSess && obs::session() == obsSess)
+        obsSess->timeline().dropProbes(this);
+}
+
+void
+Resource::observe(const std::string &name, bool probes)
+{
+    obs::Session *s = obs::session();
+    if (!s)
+        return;
+    obsSess = s;
+    obsWait = &s->metrics().histogram(name + ".wait_ticks");
+    obsDepth = &s->metrics().histogram(name + ".queue_depth");
+    if (!probes)
+        return;
+    s->timeline().probe(
+        name + ".queue_len",
+        [this] { return static_cast<double>(waiters.size()); }, this);
+    s->timeline().probe(
+        name + ".in_use",
+        [this] { return static_cast<double>(cap - avail); }, this);
 }
 
 Resource::AcquireOp
@@ -61,7 +85,10 @@ Resource::grantWaiters()
         noteAcquire(op->n);
         op->granted = true;
         if (s) {
-            waitTicks += s->now() - op->enqueueTick;
+            Tick waited = s->now() - op->enqueueTick;
+            waitTicks += waited;
+            if (obsWait)
+                obsWait->sample(waited);
             s->scheduleAt(s->now(), op->waiting);
         }
     }
@@ -88,6 +115,8 @@ Resource::AcquireOp::await_ready()
     if (res->waiters.empty() && res->avail >= n) {
         res->noteAcquire(n);
         granted = true;
+        if (res->obsWait)
+            res->obsWait->sample(0);
         return true;
     }
     return false;
@@ -101,6 +130,8 @@ Resource::AcquireOp::await_suspend(std::coroutine_handle<> h)
     Simulator *s = Simulator::current();
     enqueueTick = s ? s->now() : 0;
     res->waiters.push_back(this);
+    if (res->obsDepth)
+        res->obsDepth->sample(res->waiters.size());
 }
 
 void

@@ -15,6 +15,12 @@
 #include "sim/simulator.hh"
 #include "sim/ticks.hh"
 
+namespace howsim::obs
+{
+class Histogram;
+class Session;
+} // namespace howsim::obs
+
 namespace howsim::sim
 {
 
@@ -50,6 +56,16 @@ class Resource
 
     /** Aggregate time acquirers spent queued, in ticks. */
     Tick totalWait() const { return waitTicks; }
+
+    /**
+     * Attach this resource to the thread's observability session (if
+     * any) under the metric prefix @p name: wait-time and queue-depth
+     * histograms plus (when @p probes) queue-length/in-use timeline
+     * probes. No-op — and the hot-path hooks stay null-pointer
+     * checks — when observability is off. Callers with many sibling
+     * resources pass probes = false to keep counter tracks bounded.
+     */
+    void observe(const std::string &name, bool probes = true);
 
     /** Aggregate unit-ticks of held capacity (for utilization). */
     double
@@ -99,6 +115,10 @@ class Resource
     // Utilization accounting: integrate held units over time.
     Tick lastChange = 0;
     std::uint64_t busyUnitTicks = 0;
+    // Cached observability hooks; null when not observe()d.
+    obs::Histogram *obsWait = nullptr;
+    obs::Histogram *obsDepth = nullptr;
+    obs::Session *obsSess = nullptr;
 };
 
 /**

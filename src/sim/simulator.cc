@@ -3,6 +3,7 @@
 #include <atomic>
 #include <utility>
 
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 
 namespace howsim::sim
@@ -31,6 +32,9 @@ Simulator::Simulator()
 {
     previous = currentSim;
     currentSim = this;
+    obsSession = obs::session();
+    if (obsSession)
+        obsPrevClock = obsSession->bindClock(&currentTick);
 }
 
 Simulator::~Simulator()
@@ -39,6 +43,8 @@ Simulator::~Simulator()
     // pointer: process frames may hold awaiter objects whose
     // destructors unlink themselves from channels/resources.
     processes.clear();
+    if (obsSession)
+        obsSession->bindClock(obsPrevClock);
     currentSim = previous;
     allSimulatorEvents.fetch_add(executed, std::memory_order_relaxed);
 }
@@ -99,6 +105,13 @@ Simulator::spawnImpl(Coro<void> body, std::string name, bool detached)
     proc->detached = detached;
     processes.emplace(proc.get(), proc);
     Process *raw = proc.get();
+    // Trace process lifetimes as async spans. Detached processes are
+    // high-volume (per-frame forwards, isends), so they only appear
+    // at fine detail.
+    if (obsSession && (!detached || obsSession->fine())) {
+        raw->obsSpanId = obsSession->trace().asyncBegin(
+            "process", raw->procName, currentTick);
+    }
     raw->body.promise().onDone = [raw] { raw->onComplete(); };
     // Start the body at the current tick, after already-queued events.
     scheduleAt(currentTick, [raw] { raw->body.resume(); });
@@ -123,11 +136,30 @@ Simulator::run(Tick until)
 {
     Simulator *outer = currentSim;
     currentSim = this;
-    while (!queue.empty() && queue.nextTick() <= until) {
-        currentTick = queue.nextTick();
-        auto action = queue.pop();
-        ++executed;
-        action();
+    if (!obsSession) {
+        // The original tight loop: with observability off, the hot
+        // path is exactly what it was before obs existed.
+        while (!queue.empty() && queue.nextTick() <= until) {
+            currentTick = queue.nextTick();
+            auto action = queue.pop();
+            ++executed;
+            action();
+        }
+    } else {
+        obs::Timeline &timeline = obsSession->timeline();
+        while (!queue.empty() && queue.nextTick() <= until) {
+            currentTick = queue.nextTick();
+            timeline.maybeSample(currentTick);
+            auto action = queue.pop();
+            ++executed;
+            action();
+        }
+        obsSession->metrics()
+            .gauge("sim.events_executed")
+            .set(static_cast<double>(executed));
+        obsSession->metrics()
+            .gauge("sim.final_tick")
+            .set(static_cast<double>(currentTick));
     }
     if (until != maxTick && until > currentTick)
         currentTick = until;
@@ -158,6 +190,10 @@ Process::onComplete()
 {
     doneFlag = true;
     error = body.promise().exception;
+    if (obsSpanId) {
+        owner.obsSession->trace().asyncEnd("process", procName,
+                                           obsSpanId, owner.now());
+    }
     for (auto h : joiners)
         owner.scheduleAt(owner.now(), h);
     joiners.clear();

@@ -16,6 +16,11 @@
 #include "sim/event_queue.hh"
 #include "sim/ticks.hh"
 
+namespace howsim::obs
+{
+class Session;
+} // namespace howsim::obs
+
 namespace howsim::sim
 {
 
@@ -108,6 +113,16 @@ class Simulator
     std::vector<std::exception_ptr> detachedErrors;
     std::uint64_t executed = 0;
     Simulator *previous = nullptr;
+
+    /**
+     * The thread's observability session captured at construction
+     * (null when observability is off). When set, run() uses the
+     * instrumented loop and the session's clock points at
+     * currentTick; when null, run() is the original tight loop and
+     * no obs code executes at all.
+     */
+    obs::Session *obsSession = nullptr;
+    const Tick *obsPrevClock = nullptr;
 };
 
 /**
@@ -164,6 +179,7 @@ class Process
     Simulator &owner;
     Coro<void> body;
     std::string procName;
+    std::uint64_t obsSpanId = 0; //!< async span; 0 = not traced
     bool detached = false;
     bool doneFlag = false;
     bool errorObserved = false;

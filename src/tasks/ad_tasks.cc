@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/obs.hh"
 #include "sim/awaitables.hh"
 #include "sim/logging.hh"
 #include "os/async_io.hh"
+#include "workload/task_kind.hh"
 #include "workload/dcube_plan.hh"
 #include "workload/estimate.hh"
 #include "workload/sort_plan.hh"
@@ -60,7 +62,18 @@ AdTaskRunner::computeIn(int d, const char *bucket, Tick ref_ticks)
 {
     Tick scaled = machine.cpu(d).scaled(ref_ticks);
     result.buckets.add(bucket, sim::toSeconds(scaled));
-    co_await machine.compute(d, ref_ticks);
+    // Disklet execution spans (per compute chunk) are high-volume,
+    // so they are fine-detail only.
+    obs::Session *sess = obs::session();
+    if (sess && sess->fine()) {
+        Tick t0 = simulator.now();
+        co_await machine.compute(d, ref_ticks);
+        sess->trace().complete(
+            sess->trace().track("ad" + std::to_string(d) + ".cpu"),
+            bucket, "disklet", t0, simulator.now() - t0);
+    } else {
+        co_await machine.compute(d, ref_ticks);
+    }
 }
 
 Coro<void>
@@ -739,26 +752,34 @@ AdTaskRunner::mviewWorker(int d, const DatasetSpec &data)
 Coro<void>
 AdTaskRunner::sortCoordinator(const DatasetSpec &data)
 {
-    // Two phases; this coordinator records their elapsed times.
+    // Two phases; this coordinator records their elapsed times. The
+    // obs phase spans bracket exactly the interval the buckets
+    // measure, so span durations equal the Figure 3 numbers.
     const int n = size();
     Tick t0 = simulator.now();
-    std::vector<sim::ProcessRef> phase1;
-    for (int d = 0; d < n; ++d) {
-        phase1.push_back(simulator.spawn(sortPartitionWorker(d, data),
-                                         "sort-part"));
-        phase1.push_back(simulator.spawn(sortCollector(d, data),
-                                         "sort-collect"));
+    {
+        obs::Span span("phases", "p1", "phase");
+        std::vector<sim::ProcessRef> phase1;
+        for (int d = 0; d < n; ++d) {
+            phase1.push_back(simulator.spawn(
+                sortPartitionWorker(d, data), "sort-part"));
+            phase1.push_back(simulator.spawn(sortCollector(d, data),
+                                             "sort-collect"));
+        }
+        co_await sim::joinAll(phase1);
     }
-    co_await sim::joinAll(phase1);
     result.buckets.add("p1.elapsed",
                        sim::toSeconds(simulator.now() - t0));
     Tick t1 = simulator.now();
-    std::vector<sim::ProcessRef> phase2;
-    for (int d = 0; d < n; ++d) {
-        phase2.push_back(simulator.spawn(sortMergeWorker(d, data),
-                                         "sort-merge"));
+    {
+        obs::Span span("phases", "p2", "phase");
+        std::vector<sim::ProcessRef> phase2;
+        for (int d = 0; d < n; ++d) {
+            phase2.push_back(simulator.spawn(sortMergeWorker(d, data),
+                                             "sort-merge"));
+        }
+        co_await sim::joinAll(phase2);
     }
-    co_await sim::joinAll(phase2);
     result.buckets.add("p2.elapsed",
                        sim::toSeconds(simulator.now() - t1));
 }
@@ -793,6 +814,7 @@ AdTaskRunner::run(TaskKind kind, const DatasetSpec &data)
     doneMarkers = 0;
     const int n = size();
     Tick start = simulator.now();
+    obs::Span taskSpan("task", workload::taskName(kind), "task");
 
     Tick fe_merge_per_byte = 0;
     if (kind == TaskKind::GroupBy) {

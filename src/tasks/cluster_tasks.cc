@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/obs.hh"
 #include "sim/awaitables.hh"
 #include "sim/logging.hh"
 #include "os/async_io.hh"
+#include "workload/task_kind.hh"
 #include "workload/dcube_plan.hh"
 #include "workload/estimate.hh"
 #include "workload/sort_plan.hh"
@@ -64,7 +66,17 @@ ClusterTaskRunner::computeIn(int node, const char *bucket,
 {
     Tick scaled = machine.cpu(node).scaled(ref_ticks);
     result.buckets.add(bucket, sim::toSeconds(scaled));
-    co_await machine.cpu(node).compute(ref_ticks);
+    // Per-chunk host compute spans are high-volume: fine-detail only.
+    obs::Session *sess = obs::session();
+    if (sess && sess->fine()) {
+        Tick t0 = simulator.now();
+        co_await machine.cpu(node).compute(ref_ticks);
+        sess->trace().complete(
+            sess->trace().track("h" + std::to_string(node) + ".cpu"),
+            bucket, "compute", t0, simulator.now() - t0);
+    } else {
+        co_await machine.cpu(node).compute(ref_ticks);
+    }
 }
 
 Coro<void>
@@ -728,25 +740,33 @@ ClusterTaskRunner::mviewWorker(int node, const DatasetSpec &data)
 Coro<void>
 ClusterTaskRunner::sortCoordinator(const DatasetSpec &data)
 {
+    // The obs phase spans bracket exactly the interval the buckets
+    // measure, so span durations equal the Figure 3 numbers.
     const int n = size();
     Tick t0 = simulator.now();
-    std::vector<sim::ProcessRef> phase1;
-    for (int i = 0; i < n; ++i) {
-        phase1.push_back(simulator.spawn(sortPartitionWorker(i, data),
-                                         "sort-part"));
-        phase1.push_back(simulator.spawn(sortCollector(i, data),
-                                         "sort-collect"));
+    {
+        obs::Span span("phases", "p1", "phase");
+        std::vector<sim::ProcessRef> phase1;
+        for (int i = 0; i < n; ++i) {
+            phase1.push_back(simulator.spawn(
+                sortPartitionWorker(i, data), "sort-part"));
+            phase1.push_back(simulator.spawn(sortCollector(i, data),
+                                             "sort-collect"));
+        }
+        co_await sim::joinAll(phase1);
     }
-    co_await sim::joinAll(phase1);
     result.buckets.add("p1.elapsed",
                        sim::toSeconds(simulator.now() - t0));
     Tick t1 = simulator.now();
-    std::vector<sim::ProcessRef> phase2;
-    for (int i = 0; i < n; ++i) {
-        phase2.push_back(simulator.spawn(sortMergeWorker(i, data),
-                                         "sort-merge"));
+    {
+        obs::Span span("phases", "p2", "phase");
+        std::vector<sim::ProcessRef> phase2;
+        for (int i = 0; i < n; ++i) {
+            phase2.push_back(simulator.spawn(sortMergeWorker(i, data),
+                                             "sort-merge"));
+        }
+        co_await sim::joinAll(phase2);
     }
-    co_await sim::joinAll(phase2);
     result.buckets.add("p2.elapsed",
                        sim::toSeconds(simulator.now() - t1));
 }
@@ -779,6 +799,7 @@ ClusterTaskRunner::run(TaskKind kind, const DatasetSpec &data)
     doneMarkers = 0;
     const int n = size();
     Tick start = simulator.now();
+    obs::Span taskSpan("task", workload::taskName(kind), "task");
 
     Tick fe_merge_per_byte = 0;
     if (kind == TaskKind::GroupBy)

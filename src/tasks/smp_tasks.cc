@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/obs.hh"
 #include "sim/awaitables.hh"
 #include "sim/logging.hh"
+#include "workload/task_kind.hh"
 #include "workload/dcube_plan.hh"
 #include "workload/estimate.hh"
 #include "workload/sort_plan.hh"
@@ -42,7 +44,17 @@ SmpTaskRunner::computeIn(int p, const char *bucket, Tick ref_ticks)
 {
     Tick scaled = machine.cpu(p).scaled(ref_ticks);
     result.buckets.add(bucket, sim::toSeconds(scaled));
-    co_await machine.cpu(p).compute(ref_ticks);
+    // Per-chunk compute spans are high-volume: fine-detail only.
+    obs::Session *sess = obs::session();
+    if (sess && sess->fine()) {
+        Tick t0 = simulator.now();
+        co_await machine.cpu(p).compute(ref_ticks);
+        sess->trace().complete(
+            sess->trace().track("cpu" + std::to_string(p)), bucket,
+            "compute", t0, simulator.now() - t0);
+    } else {
+        co_await machine.cpu(p).compute(ref_ticks);
+    }
 }
 
 Coro<void>
@@ -433,6 +445,7 @@ SmpTaskRunner::run(TaskKind kind, const DatasetSpec &data)
     result = TaskResult{};
     const int n = cpus();
     Tick start = simulator.now();
+    obs::Span taskSpan("task", workload::taskName(kind), "task");
 
     Queues queues;
     auto add_queue = [&](std::uint64_t total_bytes) {

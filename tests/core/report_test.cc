@@ -27,6 +27,26 @@ TEST(Report, CsvRoundTrip)
     EXPECT_EQ(t.columnCount(), 2u);
 }
 
+TEST(Report, CsvQuotesCommasQuotesAndNewlines)
+{
+    Table t({"name", "note"});
+    t.addRow({"a,b", "plain"});
+    t.addRow({"say \"hi\"", "line1\nline2"});
+    t.addRow({"cr\rcell", "trailing"});
+    EXPECT_EQ(t.toCsv(), "name,note\n"
+                         "\"a,b\",plain\n"
+                         "\"say \"\"hi\"\"\",\"line1\nline2\"\n"
+                         "\"cr\rcell\",trailing\n");
+}
+
+TEST(Report, CsvLeavesCleanCellsUnquoted)
+{
+    Table t({"h"});
+    t.addRow({"spaces are fine"});
+    t.addRow({"semi;colon"});
+    EXPECT_EQ(t.toCsv(), "h\nspaces are fine\nsemi;colon\n");
+}
+
 TEST(Report, PrintAlignsColumns)
 {
     Table t({"a", "longheader"});

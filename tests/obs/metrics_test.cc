@@ -1,0 +1,155 @@
+/** @file Unit tests for obs metric primitives and the registry. */
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+
+using namespace howsim::obs;
+
+TEST(Counter, AccumulatesAndDefaultsToOne)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, KeepsLastValue)
+{
+    Gauge g;
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    g.set(3.5);
+    g.set(-1.0);
+    EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(Histogram, BucketsByBitWidth)
+{
+    Histogram h;
+    h.sample(0); // bucket 0
+    h.sample(1); // bucket 1
+    h.sample(2); // bucket 2: [2, 3]
+    h.sample(3);
+    h.sample(1024); // bucket 11: [1024, 2047]
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 2u);
+    EXPECT_EQ(h.bucket(11), 1u);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 1030u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1024u);
+    EXPECT_DOUBLE_EQ(h.mean(), 206.0);
+}
+
+TEST(Histogram, BucketBoundsArePowerOfTwoRanges)
+{
+    EXPECT_EQ(Histogram::bucketFloor(0), 0u);
+    EXPECT_EQ(Histogram::bucketCeil(0), 0u);
+    for (int i = 1; i < Histogram::bucketCount; ++i) {
+        // Bucket i holds exactly the values of bit width i.
+        EXPECT_EQ(Histogram::bucketFloor(i),
+                  std::uint64_t(1) << (i - 1));
+        EXPECT_EQ(Histogram::bucketCeil(i) + 1,
+                  i == 64 ? 0u : std::uint64_t(1) << i);
+    }
+}
+
+TEST(Histogram, LargestValueLandsInLastBucket)
+{
+    Histogram h;
+    h.sample(~std::uint64_t(0));
+    EXPECT_EQ(h.bucket(64), 1u);
+    EXPECT_EQ(h.max(), ~std::uint64_t(0));
+}
+
+TEST(Histogram, PercentileExactAtExtremesAndMonotone)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.sample(v);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 1000.0);
+    double prev = 0.0;
+    for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+        double v = h.percentile(p);
+        EXPECT_GE(v, prev) << "p=" << p;
+        EXPECT_GE(v, 1.0);
+        EXPECT_LE(v, 1000.0);
+        prev = v;
+    }
+    // Log-bucket interpolation is within one power of two of truth.
+    EXPECT_NEAR(h.percentile(0.5), 500.0, 256.0);
+}
+
+TEST(Histogram, EmptyIsSafe)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Registry, FindOrCreateReturnsStableReferences)
+{
+    MetricRegistry reg;
+    Counter &a = reg.counter("disk0.bytes");
+    a.add(7);
+    // Creating unrelated metrics must not move existing ones.
+    for (int i = 0; i < 100; ++i)
+        reg.counter("other." + std::to_string(i));
+    Counter &b = reg.counter("disk0.bytes");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 7u);
+    EXPECT_EQ(reg.size(), 101u);
+}
+
+TEST(Registry, ShapesAreSeparateNamespaces)
+{
+    MetricRegistry reg;
+    reg.counter("x").add(1);
+    reg.gauge("x").set(2.0);
+    reg.histogram("x").sample(3);
+    EXPECT_EQ(reg.size(), 3u);
+    EXPECT_EQ(reg.counter("x").value(), 1u);
+    EXPECT_DOUBLE_EQ(reg.gauge("x").value(), 2.0);
+    EXPECT_EQ(reg.histogram("x").count(), 1u);
+}
+
+TEST(Scope, JoinsDottedPaths)
+{
+    MetricRegistry reg;
+    Scope disk(reg, "disk0");
+    disk.counter("bytes").add(5);
+    EXPECT_EQ(reg.counter("disk0.bytes").value(), 5u);
+
+    Scope link = Scope(reg, "switch1").scoped("link3");
+    EXPECT_EQ(link.prefix(), "switch1.link3");
+    link.counter("bytes").add(9);
+    EXPECT_EQ(reg.counter("switch1.link3.bytes").value(), 9u);
+}
+
+TEST(Scope, EmptyPrefixIsPassthrough)
+{
+    MetricRegistry reg;
+    Scope root(reg, "");
+    root.gauge("top").set(1.0);
+    EXPECT_DOUBLE_EQ(reg.gauge("top").value(), 1.0);
+}
+
+TEST(Registry, ToJsonListsEveryMetric)
+{
+    MetricRegistry reg;
+    reg.counter("ad0.requests").add(3);
+    reg.gauge("sim.final_tick").set(12.5);
+    reg.histogram("ad0.service_ticks").sample(1000);
+    std::string json = reg.toJson();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"ad0.requests\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"sim.final_tick\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"ad0.service_ticks\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}

@@ -1,0 +1,289 @@
+/** @file Unit tests for the Chrome trace-event sink. */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "obs/trace_sink.hh"
+
+using namespace howsim;
+using obs::TraceSink;
+
+namespace
+{
+
+/**
+ * Minimal recursive-descent JSON parser: accepts exactly the RFC 8259
+ * grammar and nothing else, so any malformed byte the sink emits
+ * fails the test the way it would fail json.tool or Perfetto.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s(text) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos == s.size();
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < s.size() && std::isspace(
+                   static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    bool eat(char c)
+    {
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    value()
+    {
+        skipWs();
+        if (pos >= s.size())
+            return false;
+        switch (s[pos]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos; // '{'
+        skipWs();
+        if (eat('}'))
+            return true;
+        do {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (!eat(':') || !value())
+                return false;
+            skipWs();
+        } while (eat(','));
+        return eat('}');
+    }
+
+    bool
+    array()
+    {
+        ++pos; // '['
+        skipWs();
+        if (eat(']'))
+            return true;
+        do {
+            if (!value())
+                return false;
+            skipWs();
+        } while (eat(','));
+        return eat(']');
+    }
+
+    bool
+    string()
+    {
+        if (!eat('"'))
+            return false;
+        while (pos < s.size()) {
+            unsigned char c = static_cast<unsigned char>(s[pos]);
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c < 0x20)
+                return false; // raw control char: must be escaped
+            if (c == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    return false;
+                char e = s[pos];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos;
+                        if (pos >= s.size()
+                            || !std::isxdigit(static_cast<unsigned char>(
+                                   s[pos])))
+                            return false;
+                    }
+                } else if (!strchr("\"\\/bfnrt", e)) {
+                    return false;
+                }
+            }
+            ++pos;
+        }
+        return false;
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = pos;
+        eat('-');
+        if (!digits())
+            return false;
+        if (eat('.') && !digits())
+            return false;
+        if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+            ++pos;
+            if (pos < s.size() && (s[pos] == '+' || s[pos] == '-'))
+                ++pos;
+            if (!digits())
+                return false;
+        }
+        return pos > start;
+    }
+
+    bool
+    digits()
+    {
+        std::size_t start = pos;
+        while (pos < s.size()
+               && std::isdigit(static_cast<unsigned char>(s[pos])))
+            ++pos;
+        return pos > start;
+    }
+
+    bool
+    literal(const char *lit)
+    {
+        std::size_t len = std::strlen(lit);
+        if (s.compare(pos, len, lit) != 0)
+            return false;
+        pos += len;
+        return true;
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+std::string
+dumped(const TraceSink &sink, const std::string &label = "test")
+{
+    std::ostringstream out;
+    sink.writeJson(out, label);
+    return out.str();
+}
+
+} // namespace
+
+TEST(TraceSink, TrackZeroIsTheSimulatorAndLookupIsIdempotent)
+{
+    TraceSink sink;
+    EXPECT_EQ(sink.trackName(0), "sim");
+    TraceSink::TrackId a = sink.track("disk0");
+    TraceSink::TrackId b = sink.track("disk0");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, 0u);
+    EXPECT_EQ(sink.trackName(a), "disk0");
+    EXPECT_EQ(sink.trackCount(), 2u);
+}
+
+TEST(TraceSink, RecordsEventShapes)
+{
+    TraceSink sink;
+    TraceSink::TrackId t = sink.track("disk0");
+    sink.complete(t, "read", "disk", 1000, 500);
+    std::uint64_t id = sink.asyncBegin("msg", "msg 0->1", 2000);
+    sink.asyncEnd("msg", "msg 0->1", id, 2600);
+    sink.counter("disk0.queue", 3000, 4.0);
+    sink.instant(t, "drop", "warn", 3500);
+
+    ASSERT_EQ(sink.eventCount(), 5u);
+    const auto &ev = sink.allEvents();
+    EXPECT_EQ(ev[0].ph, 'X');
+    EXPECT_EQ(ev[0].ts, 1000u);
+    EXPECT_EQ(ev[0].dur, 500u);
+    EXPECT_EQ(ev[1].ph, 'b');
+    EXPECT_EQ(ev[2].ph, 'e');
+    EXPECT_EQ(ev[1].id, ev[2].id);
+    EXPECT_EQ(ev[3].ph, 'C');
+    EXPECT_DOUBLE_EQ(ev[3].value, 4.0);
+    EXPECT_EQ(ev[4].ph, 'i');
+}
+
+TEST(TraceSink, AsyncIdsAreUnique)
+{
+    TraceSink sink;
+    std::uint64_t a = sink.asyncBegin("msg", "a", 0);
+    std::uint64_t b = sink.asyncBegin("msg", "b", 0);
+    EXPECT_NE(a, b);
+}
+
+TEST(TraceSink, EmptySinkStillWritesValidJson)
+{
+    TraceSink sink;
+    std::string json = dumped(sink);
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TraceSink, WriteJsonIsWellFormed)
+{
+    TraceSink sink;
+    TraceSink::TrackId t = sink.track("disk0");
+    sink.complete(t, "read", "disk", 1234567, 500);
+    std::uint64_t id = sink.asyncBegin("proc", "worker", 0);
+    sink.asyncEnd("proc", "worker", id, 99);
+    sink.counter("queue", 1000, 2.5);
+    sink.instant(0, "mark", "note", 42);
+    std::string json = dumped(sink, "exp0");
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    // Ticks are nanoseconds; trace timestamps are microseconds.
+    EXPECT_NE(json.find("1234.567"), std::string::npos);
+    // The label names the trace process.
+    EXPECT_NE(json.find("\"exp0\""), std::string::npos);
+    // Thread-name metadata precedes the events.
+    EXPECT_LT(json.find("thread_name"), json.find("\"X\""));
+}
+
+TEST(TraceSink, EscapesHostileNames)
+{
+    TraceSink sink;
+    TraceSink::TrackId t = sink.track("evil \"track\"\n\t\\");
+    sink.complete(t, std::string("a\"b\\c\nd\x01"), "cat", 0, 1);
+    std::string json = dumped(sink);
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+}
+
+TEST(TraceSink, CounterValuesSerializeAsNumbers)
+{
+    TraceSink sink;
+    sink.counter("util", 0, 0.125);
+    sink.counter("util", 1000, 1e9);
+    std::string json = dumped(sink);
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("0.125"), std::string::npos);
+}

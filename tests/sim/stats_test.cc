@@ -38,6 +38,29 @@ TEST(Breakdown, ClearEmpties)
     EXPECT_TRUE(b.all().empty());
 }
 
+TEST(Breakdown, AllIteratesSortedByName)
+{
+    Breakdown b;
+    b.add("p2.merge", 2.0);
+    b.add("p1.sort", 1.0);
+    std::vector<std::string> names;
+    for (const auto &[name, v] : b.all())
+        names.push_back(name);
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "p1.sort");
+    EXPECT_EQ(names[1], "p2.merge");
+}
+
+TEST(Breakdown, MergeIntoEmptyCopies)
+{
+    Breakdown a, b;
+    b.add("x", 2.5);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 2.5);
+    // Merging must not disturb the source.
+    EXPECT_DOUBLE_EQ(b.get("x"), 2.5);
+}
+
 TEST(BusyTracker, IdleIsComplementOfBusy)
 {
     BusyTracker t;
