@@ -1,25 +1,42 @@
 /**
  * @file
  * Event-loop microbenchmark: host-time cost of scheduling and
- * dispatching simulator events through the three payload shapes the
- * kernel distinguishes:
+ * dispatching simulator events.
  *
- *  - a small trivially-copyable lambda (inline buffer, memcpy
- *    relocation, no allocation),
- *  - the coroutine-handle fast path (the dominant event in real
- *    simulations — also allocation-free),
- *  - a capture larger than InlineAction's buffer (heap fallback;
- *    present to quantify what the fallback costs, not because the
- *    simulator uses it).
+ * Two families of measurements feed BENCH_events.json:
+ *
+ *  1. Payload-shape costs through the default queue — a small
+ *     trivially-copyable lambda (inline buffer), the
+ *     coroutine-handle fast path (the dominant event in real
+ *     simulations), and an oversized capture (heap fallback, present
+ *     to quantify the fallback, not because the simulator uses it).
+ *
+ *  2. A scheduler head-to-head — the classic hold model (pop one
+ *     event, schedule its successor a pseudo-random delay ahead) at
+ *     steady queue depths spanning what the fig-scale benches
+ *     sustain, run against both SchedPolicy::Heap and
+ *     SchedPolicy::Ladder. The delay distribution mixes the µs–ms
+ *     bands real disk/net events occupy with a far-future tail so
+ *     the ladder's top tier and rung splits are exercised, and it is
+ *     identical under both policies, so the numbers differ only by
+ *     scheduler cost.
+ *
+ * With --check[=pct] the binary exits non-zero unless the ladder
+ * beats the heap by at least <pct> percent (default 10) at the
+ * fig-scale depth — CI's regression gate for the O(1) scheduler.
  *
  * Unlike micro_sim (google-benchmark, human-oriented), this binary
  * feeds the BENCH_events.json perf trajectory via BenchHarness, so
  * regressions in the per-event cost are visible PR over PR.
  */
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "core/bench_harness.hh"
 #include "sim/awaitables.hh"
@@ -32,6 +49,15 @@ using namespace howsim::sim;
 
 namespace
 {
+
+constexpr int kHoldReps = 3;
+constexpr std::uint64_t kHoldOps = 1000000;
+
+/** Steady queue depths matching the fig-scale benches' range. */
+constexpr std::size_t kHoldDepths[] = {1024, 4096, 16384};
+
+/** The depth the --check gate (and the headline metric) uses. */
+constexpr std::size_t kGateDepth = 4096;
 
 double
 secondsSince(std::chrono::steady_clock::time_point start)
@@ -106,26 +132,132 @@ heapFallbackEventsPerSec(int batches, int perBatch)
            / wall;
 }
 
+/**
+ * Deterministic delay stream for the hold model. Three bands mirror
+ * what a real run schedules: software overheads and hop latencies
+ * (~1 µs), disk service times (µs–ms), and an occasional far-future
+ * event (tens of ms) that lands in the ladder's overflow tier.
+ */
+struct DelayStream
+{
+    std::uint64_t state;
+
+    explicit DelayStream(std::uint64_t seed)
+        : state(seed ^ 0x9e3779b97f4a7c15ull)
+    {
+    }
+
+    Tick
+    next()
+    {
+        state = state * 6364136223846793005ull
+                + 1442695040888963407ull;
+        std::uint64_t r = state >> 33;
+        switch (r & 7) {
+          case 0:
+          case 1:
+          case 2:
+            return 500 + r % microseconds(2);    // software / hops
+          case 7:
+            return milliseconds(10) + r % milliseconds(100);
+          default:
+            return microseconds(50) + r % milliseconds(2);
+        }
+    }
+};
+
+/**
+ * Hold model: steady depth, each pop schedules one successor. The
+ * delay stream depends only on the call sequence and both policies
+ * drain in identical order, so the event population is the same and
+ * the measured difference is pure scheduler cost.
+ */
+double
+holdEventsPerSec(SchedPolicy policy, std::size_t depth,
+                 std::uint64_t ops)
+{
+    EventQueue q(policy);
+    q.reserve(depth);
+    DelayStream delays(depth);
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < depth; ++i)
+        q.schedule(delays.next(), [&sink] { ++sink; });
+    auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t op = 0; op < ops; ++op) {
+        Tick now = q.nextTick();
+        q.pop()();
+        q.schedule(now + delays.next(), [&sink] { ++sink; });
+    }
+    double wall = secondsSince(start);
+    return static_cast<double>(ops) / wall;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    double checkPct = -1.0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0)
+            checkPct = 10.0;
+        else if (std::strncmp(argv[i], "--check=", 8) == 0)
+            checkPct = std::atof(argv[i] + 8);
+    }
+
     core::BenchHarness harness("micro_events");
 
     double lambda = lambdaEventsPerSec(20, 100000);
     double coro = coroutineEventsPerSec(1000, 2000);
-    double heap = heapFallbackEventsPerSec(20, 100000);
+    double heapFb = heapFallbackEventsPerSec(20, 100000);
 
     std::printf("event-loop microbenchmark (host events/sec)\n");
     std::printf("  %-34s %12.3g\n", "inline lambda schedule+dispatch",
                 lambda);
     std::printf("  %-34s %12.3g\n", "coroutine-handle fast path", coro);
     std::printf("  %-34s %12.3g\n", "oversized capture (heap fallback)",
-                heap);
+                heapFb);
 
     harness.metric("lambda_events_per_sec", lambda);
     harness.metric("coroutine_events_per_sec", coro);
-    harness.metric("heap_fallback_events_per_sec", heap);
+    harness.metric("heap_fallback_events_per_sec", heapFb);
+
+    std::printf("\nscheduler head-to-head, hold model "
+                "(best of %d reps)\n", kHoldReps);
+    std::printf("  %8s %14s %14s %9s\n", "depth", "heap ev/s",
+                "ladder ev/s", "speedup");
+
+    double gateSpeedupPct = 0;
+    for (std::size_t depth : kHoldDepths) {
+        // Interleave reps so frequency drift hits both alike.
+        double heap = 0, ladder = 0;
+        for (int r = 0; r < kHoldReps; ++r) {
+            heap = std::max(
+                heap, holdEventsPerSec(SchedPolicy::Heap, depth,
+                                       kHoldOps));
+            ladder = std::max(
+                ladder, holdEventsPerSec(SchedPolicy::Ladder, depth,
+                                         kHoldOps));
+        }
+        double speedupPct = (ladder / heap - 1.0) * 100.0;
+        std::printf("  %8zu %14.3g %14.3g %+8.1f%%\n", depth, heap,
+                    ladder, speedupPct);
+        std::string tag = std::to_string(depth);
+        harness.metric("hold" + tag + "_heap_events_per_sec", heap);
+        harness.metric("hold" + tag + "_ladder_events_per_sec",
+                       ladder);
+        if (depth == kGateDepth) {
+            gateSpeedupPct = speedupPct;
+            harness.metric("ladder_speedup_pct", speedupPct);
+        }
+    }
+
+    if (checkPct >= 0.0 && gateSpeedupPct < checkPct) {
+        std::fprintf(stderr,
+                     "FAIL: ladder speedup %.1f%% at depth %zu below "
+                     "required %.1f%%\n",
+                     gateSpeedupPct, kGateDepth, checkPct);
+        return 1;
+    }
     return 0;
 }

@@ -7,6 +7,7 @@
 
 #include "core/runner.hh"
 #include "sim/logging.hh"
+#include "sim/sched.hh"
 #include "sim/simulator.hh"
 
 namespace howsim::core
@@ -85,13 +86,19 @@ BenchHarness::~BenchHarness()
 {
     double wall = elapsedSeconds();
     std::uint64_t events = sim::totalEventsExecuted() - eventsStart;
-    double eps = wall > 0 ? static_cast<double>(events) / wall : 0;
 
     std::string body = strprintf(
-        "{\n    \"wall_seconds\": %.3f,\n    \"events\": %llu,\n"
-        "    \"events_per_sec\": %.6g,\n    \"jobs\": %d",
-        wall, static_cast<unsigned long long>(events), eps,
-        defaultJobs());
+        "{\n    \"wall_seconds\": %.3f,\n    \"events\": %llu",
+        wall, static_cast<unsigned long long>(events));
+    // A zero-event bench (pure cost-model tables) has no meaningful
+    // rate; omit the field rather than pollute trend diffs with 0s.
+    if (events > 0 && wall > 0) {
+        body += strprintf(",\n    \"events_per_sec\": %.6g",
+                          static_cast<double>(events) / wall);
+    }
+    body += strprintf(",\n    \"jobs\": %d,\n    \"sched\": \"%s\"",
+                      defaultJobs(),
+                      sim::schedPolicyName(sim::defaultSchedPolicy()));
     for (const auto &[key, value] : extras)
         body += strprintf(",\n    \"%s\": %.6g", key.c_str(), value);
     body += "\n  }";

@@ -63,7 +63,7 @@ runExperiment(const ExperimentConfig &config)
     // session is thread-local and writes its own files, so the
     // parallel runner needs no cross-thread merging.
     auto obsSession = obs::Session::fromEnv(experimentLabel(config));
-    sim::Simulator simulator;
+    sim::Simulator simulator(config.sched);
     switch (config.arch) {
       case Arch::ActiveDisk: {
         diskos::AdParams params;

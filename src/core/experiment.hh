@@ -13,6 +13,7 @@
 #include <string>
 
 #include "disk/disk_spec.hh"
+#include "sim/sched.hh"
 #include "tasks/task_result.hh"
 #include "workload/cost_model.hh"
 #include "workload/dataset.hh"
@@ -69,6 +70,13 @@ struct ExperimentConfig
     disk::DiskSpec drive = disk::DiskSpec::seagateSt39102();
 
     /** @} */
+
+    /**
+     * Event-scheduler policy for the experiment's Simulator. Results
+     * are bit-identical under either policy (it only changes host
+     * time); defaults to the HOWSIM_SCHED environment selection.
+     */
+    sim::SchedPolicy sched = sim::defaultSchedPolicy();
 
     workload::CostModel costs = workload::CostModel::calibrated();
 };

@@ -25,6 +25,23 @@ Geometry::Geometry(DiskSpec s) : spec(std::move(s))
     cylinderCount = cyl;
 }
 
+bool
+Geometry::lbaInZone(std::size_t z, std::uint64_t lba) const
+{
+    if (extents[z].startLba > lba)
+        return false;
+    return z + 1 == extents.size() || lba < extents[z + 1].startLba;
+}
+
+bool
+Geometry::cylInZone(std::size_t z, std::uint32_t cyl) const
+{
+    if (extents[z].startCylinder > cyl)
+        return false;
+    return z + 1 == extents.size()
+           || cyl < extents[z + 1].startCylinder;
+}
+
 Position
 Geometry::locate(std::uint64_t lba) const
 {
@@ -32,10 +49,15 @@ Geometry::locate(std::uint64_t lba) const
         panic("locate: LBA %llu beyond disk end %llu",
               static_cast<unsigned long long>(lba),
               static_cast<unsigned long long>(sectorCount));
-    // Zones are few (~10); linear scan is fine and cache-friendly.
-    std::size_t z = extents.size() - 1;
-    while (extents[z].startLba > lba)
-        --z;
+    // Sequential scans hit the cached zone; otherwise zones are few
+    // (~10) and a linear scan is fine and cache-friendly.
+    std::size_t z = lastZone;
+    if (!lbaInZone(z, lba)) {
+        z = extents.size() - 1;
+        while (extents[z].startLba > lba)
+            --z;
+        lastZone = z;
+    }
     const auto &zone = spec.zones[z];
     std::uint64_t off = lba - extents[z].startLba;
     std::uint64_t sectors_per_cyl = static_cast<std::uint64_t>(
@@ -53,9 +75,13 @@ Geometry::locate(std::uint64_t lba) const
 std::size_t
 Geometry::zoneOfCylinder(std::uint32_t cyl) const
 {
-    std::size_t z = extents.size() - 1;
+    std::size_t z = lastZone;
+    if (cylInZone(z, cyl))
+        return z;
+    z = extents.size() - 1;
     while (extents[z].startCylinder > cyl)
         --z;
+    lastZone = z;
     return z;
 }
 

@@ -28,6 +28,13 @@ struct Position
  * Immutable mapping between logical block addresses and physical
  * (cylinder, track, sector) coordinates, with per-zone timing.
  * Owns a copy of the spec, so temporaries may be passed in.
+ *
+ * Lookups remember the zone they last hit: the decision support
+ * task suite is scan-dominated, so consecutive locate() calls land
+ * in the same zone almost every time and resolve with two compares
+ * instead of a table walk. The cache makes lookups non-reentrant
+ * across threads, which matches how the simulator runs (one Disk,
+ * one simulator, one thread).
  */
 class Geometry
 {
@@ -69,12 +76,21 @@ class Geometry
         std::uint32_t startCylinder;
     };
 
+    /** True when zone @p z (valid index) contains @p lba. */
+    bool lbaInZone(std::size_t z, std::uint64_t lba) const;
+
+    /** True when zone @p z (valid index) contains cylinder @p cyl. */
+    bool cylInZone(std::size_t z, std::uint32_t cyl) const;
+
     DiskSpec spec;
     std::vector<ZoneExtent> extents;
     std::vector<sim::Tick> zoneSectorTicks;
     std::uint64_t sectorCount = 0;
     std::uint32_t cylinderCount = 0;
     sim::Tick revTicks = 0;
+
+    /** Last zone hit by locate() / zoneOfCylinder(); see class doc. */
+    mutable std::size_t lastZone = 0;
 };
 
 } // namespace howsim::disk

@@ -44,6 +44,20 @@ SeekCurve::SeekCurve(const DiskSpec &spec, std::uint32_t cylinders)
         warn("SeekCurve for '%s': non-monotone fit (b=%f c=%f); "
              "check the spec's seek figures", spec.name.c_str(), b, c);
     }
+
+    // Flatten the curve into per-distance tick tables. The math per
+    // entry is identical to the on-demand formula (evaluate in ms,
+    // add the write penalty, then round to ticks once), so tabulated
+    // results are bit-identical to what interpolation produced.
+    readTicks.resize(cylinders);
+    writeTicks.resize(cylinders);
+    readTicks[0] = 0;
+    writeTicks[0] = 0;
+    for (std::uint32_t d = 1; d < cylinders; ++d) {
+        double ms = evalMs(d);
+        readTicks[d] = sim::fromSeconds(ms * 1e-3);
+        writeTicks[d] = sim::fromSeconds((ms + writePenaltyMs) * 1e-3);
+    }
 }
 
 double
@@ -53,15 +67,6 @@ SeekCurve::evalMs(std::uint32_t distance) const
         return 0.0;
     return a + b * std::sqrt(static_cast<double>(distance))
            + c * static_cast<double>(distance);
-}
-
-sim::Tick
-SeekCurve::seekTicks(std::uint32_t distance, bool write) const
-{
-    if (distance == 0)
-        return 0;
-    double ms = evalMs(distance) + (write ? writePenaltyMs : 0.0);
-    return sim::fromSeconds(ms * 1e-3);
 }
 
 double

@@ -15,6 +15,7 @@
 #define HOWSIM_DISK_SEEK_CURVE_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "disk/disk_spec.hh"
 #include "sim/ticks.hh"
@@ -31,8 +32,18 @@ class SeekCurve
      */
     SeekCurve(const DiskSpec &spec, std::uint32_t cylinders);
 
-    /** Seek time for a read over @p distance cylinders, in ticks. */
-    sim::Tick seekTicks(std::uint32_t distance, bool write = false) const;
+    /**
+     * Seek time over @p distance cylinders, in ticks. Served from a
+     * per-distance lookup table precomputed at construction — the
+     * task suite issues millions of seeks per run, so the hot path
+     * is one bounds-free array read instead of a sqrt and two
+     * multiplies per request.
+     */
+    sim::Tick
+    seekTicks(std::uint32_t distance, bool write = false) const
+    {
+        return write ? writeTicks[distance] : readTicks[distance];
+    }
 
     /** Mean seek time over uniform random pairs, in milliseconds. */
     double meanSeekMs() const;
@@ -50,6 +61,14 @@ class SeekCurve
     std::uint32_t cyls;
     double a = 0, b = 0, c = 0;
     double writePenaltyMs;
+
+    /**
+     * seekTicks() per cylinder distance, indices [0, cyls). Entry 0
+     * is 0 (no movement). The write table folds in the write-settle
+     * penalty before tick rounding, exactly as the formula did.
+     */
+    std::vector<sim::Tick> readTicks;
+    std::vector<sim::Tick> writeTicks;
 };
 
 } // namespace howsim::disk

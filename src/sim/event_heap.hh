@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reference scheduler policy: a single binary heap.
+ *
+ * Entries are kept in a plain std::vector driven by the <algorithm>
+ * heap primitives rather than std::priority_queue: priority_queue's
+ * top() only exposes a const reference, which forces pop() to *copy*
+ * the top entry. Owning the vector lets pop() move the entry out, so
+ * the per-event cost is a handful of memcpys of the move-only
+ * InlineAction payload — no allocation, no refcounting. Every
+ * schedule and pop sifts O(log n) entries, which is what the ladder
+ * policy (event_ladder.hh) exists to avoid; the heap remains the
+ * oracle the ladder is conformance-tested against.
+ */
+
+#ifndef HOWSIM_SIM_EVENT_HEAP_HH
+#define HOWSIM_SIM_EVENT_HEAP_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sim/sched.hh"
+
+namespace howsim::sim
+{
+
+/** Binary-heap scheduler policy; see the file comment. */
+class EventHeap
+{
+  public:
+    void
+    push(SchedEntry entry)
+    {
+        heap.push_back(std::move(entry));
+        std::push_heap(heap.begin(), heap.end(), SchedAfter{});
+    }
+
+    bool empty() const { return heap.empty(); }
+
+    std::size_t size() const { return heap.size(); }
+
+    /** Tick of the earliest pending entry. @pre !empty(). */
+    Tick minTick() const { return heap.front().when; }
+
+    /** Remove and return the earliest action. @pre !empty(). */
+    InlineAction
+    pop()
+    {
+        std::pop_heap(heap.begin(), heap.end(), SchedAfter{});
+        InlineAction action = std::move(heap.back().action);
+        heap.pop_back();
+        return action;
+    }
+
+    void reserve(std::size_t n) { heap.reserve(n); }
+
+  private:
+    std::vector<SchedEntry> heap;
+};
+
+} // namespace howsim::sim
+
+#endif // HOWSIM_SIM_EVENT_HEAP_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Ladder-queue scheduler policy: amortized O(1) schedule and pop.
+ *
+ * The structure exploits what a DES event population actually looks
+ * like: most events are scheduled a short, clustered horizon ahead
+ * (disk service times, hop latencies, software overheads all live in
+ * µs–ms bands), a minority land far in the future, and draining only
+ * ever consumes the near edge. Events are kept in three tiers,
+ * covering contiguous, ascending tick ranges:
+ *
+ *  - **bottom** — a small binary heap holding every event with
+ *    `when < bottomLimit`, the window currently being drained. All
+ *    pops come from here; mid-drain schedules at the current tick
+ *    (joiner wakeups, process starts) push into it directly.
+ *  - **rungs** — a stack of bucket arrays. Each rung partitions a
+ *    tick range into power-of-two-width buckets (indexing is a
+ *    subtract and a shift); events append to their bucket in O(1).
+ *    rungs[0] is the widest; each deeper rung subdivides one bucket
+ *    of its parent. Buckets are drained in ascending order: a small
+ *    bucket is heapified into bottom, an oversized one is split into
+ *    a new, finer rung ("rung split") so no single heapify is large.
+ *  - **top** — an unsorted overflow holding everything at or beyond
+ *    `topStart`. Only its min/max are tracked on append. When bottom
+ *    and all rungs are exhausted, top is spilled into a fresh rung
+ *    sized to its actual span, and draining continues.
+ *
+ * Every event therefore moves through O(1) appends plus one small
+ * heapify, instead of sifting through an O(log n) global heap whose
+ * entries are 80 bytes each. Ordering is exact, not approximate:
+ * bottom is a strict (tick, seq) priority queue, and the tier ranges
+ * are contiguous and disjoint, so the head of bottom is always the
+ * global minimum. Drain order is bit-identical to EventHeap
+ * (tests/sim/sched_conformance_test.cc fuzzes this).
+ *
+ * A subtlety worth writing down: bucket vectors are always sorted by
+ * sequence number, because entries only ever *append* (fresh
+ * schedules carry the largest seq yet issued; spills and splits
+ * iterate their source in order). The heapify into bottom is what
+ * establishes tick order within a bucket's width.
+ */
+
+#ifndef HOWSIM_SIM_EVENT_LADDER_HH
+#define HOWSIM_SIM_EVENT_LADDER_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/sched.hh"
+
+namespace howsim::sim
+{
+
+/** Ladder-queue scheduler policy; see the file comment. */
+class EventLadder
+{
+  public:
+    /** Append @p entry to the tier covering its tick. */
+    void
+    push(SchedEntry entry)
+    {
+        ++events;
+        if (entry.when >= topStart) {
+            if (entry.when < topMin)
+                topMin = entry.when;
+            if (entry.when > topMax)
+                topMax = entry.when;
+            top.push_back(std::move(entry));
+            return;
+        }
+        if (entry.when < bottomLimit) {
+            bottom.push_back(std::move(entry));
+            std::push_heap(bottom.begin(), bottom.end(), SchedAfter{});
+            return;
+        }
+        pushRung(std::move(entry));
+    }
+
+    bool empty() const { return events == 0; }
+
+    std::size_t size() const { return events; }
+
+    /**
+     * Tick of the earliest pending entry. May promote a bucket into
+     * bottom, hence not const. @pre !empty().
+     */
+    Tick
+    minTick()
+    {
+        if (bottom.empty())
+            refillBottom();
+        return bottom.front().when;
+    }
+
+    /** Remove and return the earliest action. @pre !empty(). */
+    InlineAction
+    pop()
+    {
+        if (bottom.empty())
+            refillBottom();
+        std::pop_heap(bottom.begin(), bottom.end(), SchedAfter{});
+        InlineAction action = std::move(bottom.back().action);
+        bottom.pop_back();
+        --events;
+        return action;
+    }
+
+    /** Pre-size the far-future tier, where bulk loads land. */
+    void reserve(std::size_t n) { top.reserve(n); }
+
+    /** Tier occupancy snapshot, for obs probes and tests. */
+    struct Occupancy
+    {
+        std::size_t bottom = 0; //!< events in the drain window
+        std::size_t rungs = 0;  //!< live rungs
+        std::size_t rungEvents = 0;
+        std::size_t top = 0;    //!< events in the overflow tier
+    };
+
+    Occupancy occupancy() const;
+
+    /** @name Tuning constants (exposed for the conformance tests) */
+    /** @{ */
+
+    /** log2 of the bucket count a spill or split spreads over. */
+    static constexpr unsigned spillBucketsLog2 = 7;
+
+    /** Min buckets a spill spreads events over. */
+    static constexpr std::size_t spillBuckets = std::size_t{1}
+                                                << spillBucketsLog2;
+
+    /** Cap on a spilled rung's bucket count (resize + walk cost). */
+    static constexpr std::size_t maxSpillBuckets = std::size_t{1}
+                                                   << 16;
+
+    /** Bucket size beyond which draining splits a finer rung. */
+    static constexpr std::size_t splitThreshold = 64;
+
+    /** @} */
+
+  private:
+    struct Rung
+    {
+        Tick base;          //!< aligned tick of bucket 0
+        Tick end;           //!< one past the last covered tick
+        unsigned widthLog2; //!< log2 of the bucket tick width
+        std::size_t cur = 0;   //!< next bucket to drain
+        std::size_t count = 0; //!< events currently in the rung
+        std::vector<std::vector<SchedEntry>> buckets;
+    };
+
+    void pushRung(SchedEntry entry);
+    void refillBottom();
+    void spillTop();
+
+    std::vector<SchedEntry> bottom; //!< min-heap (SchedAfter order)
+    Tick bottomLimit = 0; //!< bottom covers [0, bottomLimit)
+    std::vector<Rung> rungs; //!< [0] widest … back() being drained
+    std::vector<SchedEntry> top;
+    Tick topStart = 0; //!< top covers [topStart, ∞)
+    Tick topMin = maxTick;
+    Tick topMax = 0;
+    std::size_t events = 0;
+};
+
+} // namespace howsim::sim
+
+#endif // HOWSIM_SIM_EVENT_LADDER_HH

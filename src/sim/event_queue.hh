@@ -1,18 +1,25 @@
 /**
  * @file
- * The discrete-event queue at the heart of the simulator.
+ * The discrete-event queue at the heart of the simulator — a thin
+ * facade over the pluggable scheduler policies.
  *
- * Events are (tick, sequence, action) triples kept in a binary heap.
- * The sequence number breaks ties so that events scheduled for the
- * same tick execute in scheduling order, which keeps simulations
- * deterministic.
+ * Events are (tick, sequence, action) triples; the sequence number
+ * breaks same-tick ties so that events scheduled for the same tick
+ * execute in scheduling order, which keeps simulations
+ * deterministic. Two interchangeable containers implement the
+ * ordering:
  *
- * The heap is a plain std::vector driven by the <algorithm> heap
- * primitives rather than std::priority_queue: priority_queue::top()
- * only exposes a const reference, which forces pop() to *copy* the
- * top entry. Owning the vector lets pop() move the entry out, so the
- * per-event cost is a handful of memcpys of the move-only
- * InlineAction payload — no allocation, no refcounting.
+ *  - EventHeap (event_heap.hh) — the reference binary heap,
+ *    O(log n) per operation;
+ *  - EventLadder (event_ladder.hh) — a ladder queue, amortized O(1)
+ *    per operation and the default.
+ *
+ * Both drain in strict (tick, seq) order, so which policy runs is
+ * invisible to the simulation: every figure and table is
+ * bit-identical under either. The policy is chosen per queue at
+ * construction — by the HOWSIM_SCHED environment variable for the
+ * default constructor — and dispatch is a single predictable branch,
+ * not a virtual call, so the hot path stays inlineable.
  */
 
 #ifndef HOWSIM_SIM_EVENT_QUEUE_HH
@@ -20,9 +27,11 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <vector>
 
 #include "sim/action.hh"
+#include "sim/event_heap.hh"
+#include "sim/event_ladder.hh"
+#include "sim/sched.hh"
 #include "sim/ticks.hh"
 
 namespace howsim::sim
@@ -34,8 +43,21 @@ class EventQueue
   public:
     using Action = InlineAction;
 
+    /** Use the HOWSIM_SCHED policy (ladder unless overridden). */
+    EventQueue() : EventQueue(defaultSchedPolicy()) {}
+
+    explicit EventQueue(SchedPolicy policy) : pol(policy) {}
+
     /** Schedule @p action to run at absolute time @p when. */
-    void schedule(Tick when, Action action);
+    void
+    schedule(Tick when, Action action)
+    {
+        SchedEntry entry{when, nextSeq++, std::move(action)};
+        if (pol == SchedPolicy::Ladder)
+            ladder.push(std::move(entry));
+        else
+            heap.push(std::move(entry));
+    }
 
     /**
      * Fast path: schedule the resumption of @p h at time @p when.
@@ -49,47 +71,74 @@ class EventQueue
     }
 
     /** True when no events remain. */
-    bool empty() const { return heap.empty(); }
+    bool
+    empty() const
+    {
+        return pol == SchedPolicy::Ladder ? ladder.empty()
+                                          : heap.empty();
+    }
 
     /** Number of pending events. */
-    std::size_t size() const { return heap.size(); }
+    std::size_t
+    size() const
+    {
+        return pol == SchedPolicy::Ladder ? ladder.size()
+                                          : heap.size();
+    }
 
-    /** Time of the earliest pending event. @pre !empty(). */
-    Tick nextTick() const { return heap.front().when; }
+    /**
+     * Time of the earliest pending event. The ladder policy may
+     * promote a bucket into its drain window here, hence not const.
+     * @pre !empty().
+     */
+    Tick
+    nextTick()
+    {
+        return pol == SchedPolicy::Ladder ? ladder.minTick()
+                                          : heap.minTick();
+    }
 
     /**
      * Remove and return the earliest pending action.
      * @pre !empty().
      */
-    Action pop();
+    Action
+    pop()
+    {
+        return pol == SchedPolicy::Ladder ? ladder.pop() : heap.pop();
+    }
 
-    /** Pre-size the heap for @p n pending events. */
-    void reserve(std::size_t n) { heap.reserve(n); }
+    /** Pre-size the queue for @p n pending events. */
+    void
+    reserve(std::size_t n)
+    {
+        if (pol == SchedPolicy::Ladder)
+            ladder.reserve(n);
+        else
+            heap.reserve(n);
+    }
 
     /** Total number of events ever scheduled (for stats/tests). */
     std::uint64_t scheduledCount() const { return nextSeq; }
 
+    /** The scheduler policy this queue was built with. */
+    SchedPolicy policy() const { return pol; }
+
+    /**
+     * Ladder tier occupancy, for obs probes and tests. All zeros
+     * under the heap policy.
+     */
+    EventLadder::Occupancy
+    ladderOccupancy() const
+    {
+        return pol == SchedPolicy::Ladder ? ladder.occupancy()
+                                          : EventLadder::Occupancy{};
+    }
+
   private:
-    struct Entry
-    {
-        Tick when;
-        std::uint64_t seq;
-        Action action;
-    };
-
-    /** Min-heap order for the std:: heap algorithms. */
-    struct After
-    {
-        bool
-        operator()(const Entry &a, const Entry &b) const noexcept
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
-
-    std::vector<Entry> heap;
+    SchedPolicy pol;
+    EventHeap heap;
+    EventLadder ladder;
     std::uint64_t nextSeq = 0;
 };
 

@@ -1,0 +1,36 @@
+#include "sim/sched.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace howsim::sim
+{
+
+const char *
+schedPolicyName(SchedPolicy policy)
+{
+    return policy == SchedPolicy::Heap ? "heap" : "ladder";
+}
+
+SchedPolicy
+defaultSchedPolicy()
+{
+    const char *env = std::getenv("HOWSIM_SCHED");
+    if (!env || !*env)
+        return SchedPolicy::Ladder;
+    if (std::strcmp(env, "ladder") == 0)
+        return SchedPolicy::Ladder;
+    if (std::strcmp(env, "heap") == 0)
+        return SchedPolicy::Heap;
+    static bool warned = false;
+    if (!warned) {
+        warned = true;
+        warn("ignoring unknown HOWSIM_SCHED=\"%s\" "
+             "(expected \"heap\" or \"ladder\")", env);
+    }
+    return SchedPolicy::Ladder;
+}
+
+} // namespace howsim::sim

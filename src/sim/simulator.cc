@@ -28,17 +28,60 @@ totalEventsExecuted()
     return allSimulatorEvents.load(std::memory_order_relaxed);
 }
 
-Simulator::Simulator()
+Simulator::Simulator(SchedPolicy sched) : queue(sched)
 {
     previous = currentSim;
     currentSim = this;
     obsSession = obs::session();
-    if (obsSession)
+    if (obsSession) {
         obsPrevClock = obsSession->bindClock(&currentTick);
+        // Scheduler occupancy probes: overall depth, plus the ladder
+        // tiers (drain window / rung count / bucketed events /
+        // far-future overflow) when that policy is active.
+        obs::Timeline &timeline = obsSession->timeline();
+        timeline.probe(
+            "sim.queue_depth",
+            [this] { return static_cast<double>(queue.size()); },
+            this);
+        if (queue.policy() == SchedPolicy::Ladder) {
+            timeline.probe(
+                "sim.sched.bottom",
+                [this] {
+                    return static_cast<double>(
+                        queue.ladderOccupancy().bottom);
+                },
+                this);
+            timeline.probe(
+                "sim.sched.rungs",
+                [this] {
+                    return static_cast<double>(
+                        queue.ladderOccupancy().rungs);
+                },
+                this);
+            timeline.probe(
+                "sim.sched.rung_events",
+                [this] {
+                    return static_cast<double>(
+                        queue.ladderOccupancy().rungEvents);
+                },
+                this);
+            timeline.probe(
+                "sim.sched.top",
+                [this] {
+                    return static_cast<double>(
+                        queue.ladderOccupancy().top);
+                },
+                this);
+        }
+    }
 }
 
 Simulator::~Simulator()
 {
+    // Drop the occupancy probes while the queue is still alive, but
+    // only if the session we registered with is still installed.
+    if (obsSession && obs::session() == obsSession)
+        obsSession->timeline().dropProbes(this);
     // Destroy processes before restoring the current-simulator
     // pointer: process frames may hold awaiter objects whose
     // destructors unlink themselves from channels/resources.
@@ -160,6 +203,9 @@ Simulator::run(Tick until)
         obsSession->metrics()
             .gauge("sim.final_tick")
             .set(static_cast<double>(currentTick));
+        obsSession->metrics()
+            .gauge("sim.sched_policy")
+            .set(queue.policy() == SchedPolicy::Ladder ? 1.0 : 0.0);
     }
     if (until != maxTick && until > currentTick)
         currentTick = until;

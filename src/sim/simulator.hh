@@ -39,7 +39,12 @@ using ProcessRef = std::shared_ptr<Process>;
 class Simulator
 {
   public:
-    Simulator();
+    /** Use the HOWSIM_SCHED scheduler policy (default: ladder). */
+    Simulator() : Simulator(defaultSchedPolicy()) {}
+
+    /** Build the event queue with an explicit scheduler policy. */
+    explicit Simulator(SchedPolicy sched);
+
     ~Simulator();
 
     Simulator(const Simulator &) = delete;
@@ -89,6 +94,9 @@ class Simulator
 
     /** Number of events executed so far. */
     std::uint64_t eventsExecuted() const { return executed; }
+
+    /** The event queue's scheduler policy. */
+    SchedPolicy schedPolicy() const { return queue.policy(); }
 
     /** Number of processes ever spawned. */
     std::size_t processCount() const { return processes.size(); }

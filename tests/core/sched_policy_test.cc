@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Scheduler-policy transparency at experiment scale: a full fig3-size
+ * run (Active Disk sort, 16 drives) must produce bit-identical
+ * results under the heap and ladder schedulers — same simulated end
+ * time, same interconnect bytes, same accounting buckets, and a
+ * byte-identical formatted report line. The scheduler may only change
+ * how fast the host gets there.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hh"
+#include "sim/sched.hh"
+
+using namespace howsim;
+using core::Arch;
+using core::ExperimentConfig;
+using workload::TaskKind;
+
+namespace
+{
+
+tasks::TaskResult
+runWith(sim::SchedPolicy policy, TaskKind task)
+{
+    ExperimentConfig config;
+    config.arch = Arch::ActiveDisk;
+    config.task = task;
+    config.scale = 16;
+    config.sched = policy;
+    return core::runExperiment(config);
+}
+
+/** The fig3-style report line, sensitive to every double printed. */
+std::string
+reportLine(const tasks::TaskResult &result)
+{
+    double p1 = result.buckets.get("p1.elapsed");
+    double p2 = result.buckets.get("p2.elapsed");
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "total %.9fs p1 %.9f p2 %.9f bytes %llu",
+                  result.seconds(), p1, p2,
+                  static_cast<unsigned long long>(
+                      result.interconnectBytes));
+    return line;
+}
+
+} // namespace
+
+TEST(SchedPolicy, Fig3ScaleSortBitIdenticalAcrossPolicies)
+{
+    auto heap = runWith(sim::SchedPolicy::Heap, TaskKind::Sort);
+    auto ladder = runWith(sim::SchedPolicy::Ladder, TaskKind::Sort);
+
+    EXPECT_EQ(heap.elapsedTicks, ladder.elapsedTicks);
+    EXPECT_EQ(heap.interconnectBytes, ladder.interconnectBytes);
+    EXPECT_EQ(heap.buckets.all(), ladder.buckets.all());
+    EXPECT_EQ(reportLine(heap), reportLine(ladder));
+}
+
+TEST(SchedPolicy, SelectAndGroupByMatchAcrossPolicies)
+{
+    for (auto task : {TaskKind::Select, TaskKind::GroupBy}) {
+        auto heap = runWith(sim::SchedPolicy::Heap, task);
+        auto ladder = runWith(sim::SchedPolicy::Ladder, task);
+        EXPECT_EQ(heap.elapsedTicks, ladder.elapsedTicks)
+            << workload::taskName(task);
+        EXPECT_EQ(heap.buckets.all(), ladder.buckets.all())
+            << workload::taskName(task);
+    }
+}

@@ -15,7 +15,7 @@ namespace
 
 /** Issue @p n random small reads through @p pol; return seconds. */
 double
-randomBacklogSeconds(SchedPolicy pol, int n, std::uint64_t seed)
+randomBacklogSeconds(howsim::disk::SchedPolicy pol, int n, std::uint64_t seed)
 {
     Simulator sim;
     Disk disk(sim, DiskSpec::seagateSt39102(), pol);
@@ -41,22 +41,23 @@ randomBacklogSeconds(SchedPolicy pol, int n, std::uint64_t seed)
 
 TEST(DiskSched, SstfBeatsFcfsOnBacklog)
 {
-    double fcfs = randomBacklogSeconds(SchedPolicy::Fcfs, 64, 11);
-    double sstf = randomBacklogSeconds(SchedPolicy::Sstf, 64, 11);
+    double fcfs = randomBacklogSeconds(howsim::disk::SchedPolicy::Fcfs, 64, 11);
+    double sstf = randomBacklogSeconds(howsim::disk::SchedPolicy::Sstf, 64, 11);
     EXPECT_LT(sstf, fcfs * 0.8);
 }
 
 TEST(DiskSched, SstfComparableToElevator)
 {
     double elevator
-        = randomBacklogSeconds(SchedPolicy::Elevator, 64, 13);
-    double sstf = randomBacklogSeconds(SchedPolicy::Sstf, 64, 13);
+        = randomBacklogSeconds(howsim::disk::SchedPolicy::Elevator, 64, 13);
+    double sstf = randomBacklogSeconds(howsim::disk::SchedPolicy::Sstf, 64, 13);
     EXPECT_LT(sstf, elevator * 1.3);
     EXPECT_GT(sstf, elevator * 0.5);
 }
 
 TEST(DiskSched, AllPoliciesServeEverything)
 {
+    using howsim::disk::SchedPolicy;
     for (auto pol : {SchedPolicy::Fcfs, SchedPolicy::Elevator,
                      SchedPolicy::Sstf}) {
         Simulator sim;

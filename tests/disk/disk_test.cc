@@ -183,7 +183,7 @@ TEST(Disk, ElevatorBeatsFcfsOnBacklog)
 {
     DiskSpec spec = DiskSpec::seagateSt39102();
 
-    auto run_policy = [&](SchedPolicy pol) {
+    auto run_policy = [&](howsim::disk::SchedPolicy pol) {
         Simulator sim;
         Disk disk(sim, spec, pol);
         Rng rng(7);
@@ -207,8 +207,8 @@ TEST(Disk, ElevatorBeatsFcfsOnBacklog)
         return toSeconds(finish);
     };
 
-    double fcfs = run_policy(SchedPolicy::Fcfs);
-    double elevator = run_policy(SchedPolicy::Elevator);
+    double fcfs = run_policy(howsim::disk::SchedPolicy::Fcfs);
+    double elevator = run_policy(howsim::disk::SchedPolicy::Elevator);
     EXPECT_LT(elevator, fcfs * 0.8);
 }
 
