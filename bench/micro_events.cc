@@ -42,6 +42,7 @@
 #include "sim/awaitables.hh"
 #include "sim/coro.hh"
 #include "sim/event_queue.hh"
+#include "sim/resource.hh"
 #include "sim/simulator.hh"
 
 using namespace howsim;
@@ -133,6 +134,64 @@ heapFallbackEventsPerSec(int batches, int perBatch)
 }
 
 /**
+ * Uncontended Resource round-trips per second: every acquire is an
+ * inline grant and every release finds no waiters — no events at
+ * all. The per-transfer floor under the coroutine bus engine, and
+ * the cost the calendar engine's arithmetic booking competes with.
+ */
+double
+resourceUncontendedOpsPerSec(int ops)
+{
+    auto start = std::chrono::steady_clock::now();
+    {
+        Simulator sim;
+        Resource res(1);
+        auto user = [](Resource *r, int n) -> Coro<void> {
+            for (int i = 0; i < n; ++i) {
+                co_await r->acquire();
+                r->release();
+            }
+        };
+        sim.spawn(user(&res, ops));
+        sim.run();
+    }
+    double wall = secondsSince(start);
+    return static_cast<double>(ops) / wall;
+}
+
+/**
+ * Single-waiter Trigger fire/wait rounds per second (one wake event
+ * plus one yield event each) — the shape of the network's transfer
+ * completion notification.
+ */
+double
+triggerFireOpsPerSec(int rounds)
+{
+    auto start = std::chrono::steady_clock::now();
+    {
+        Simulator sim;
+        Trigger trig;
+        auto waiter = [](Trigger *t, int n) -> Coro<void> {
+            for (int i = 0; i < n; ++i) {
+                co_await t->wait();
+                t->reset();
+            }
+        };
+        auto firer = [](Trigger *t, int n) -> Coro<void> {
+            for (int i = 0; i < n; ++i) {
+                t->fire();
+                co_await yield();
+            }
+        };
+        sim.spawn(waiter(&trig, rounds));
+        sim.spawn(firer(&trig, rounds));
+        sim.run();
+    }
+    double wall = secondsSince(start);
+    return static_cast<double>(rounds) / wall;
+}
+
+/**
  * Deterministic delay stream for the hold model. Three bands mirror
  * what a real run schedules: software overheads and hop latencies
  * (~1 µs), disk service times (µs–ms), and an occasional far-future
@@ -210,6 +269,8 @@ main(int argc, char **argv)
     double lambda = lambdaEventsPerSec(20, 100000);
     double coro = coroutineEventsPerSec(1000, 2000);
     double heapFb = heapFallbackEventsPerSec(20, 100000);
+    double resFast = resourceUncontendedOpsPerSec(2000000);
+    double trigFast = triggerFireOpsPerSec(1000000);
 
     std::printf("event-loop microbenchmark (host events/sec)\n");
     std::printf("  %-34s %12.3g\n", "inline lambda schedule+dispatch",
@@ -217,10 +278,16 @@ main(int argc, char **argv)
     std::printf("  %-34s %12.3g\n", "coroutine-handle fast path", coro);
     std::printf("  %-34s %12.3g\n", "oversized capture (heap fallback)",
                 heapFb);
+    std::printf("  %-34s %12.3g\n", "resource uncontended acquire",
+                resFast);
+    std::printf("  %-34s %12.3g\n", "trigger single-waiter fire",
+                trigFast);
 
     harness.metric("lambda_events_per_sec", lambda);
     harness.metric("coroutine_events_per_sec", coro);
     harness.metric("heap_fallback_events_per_sec", heapFb);
+    harness.metric("resource_uncontended_ops_per_sec", resFast);
+    harness.metric("trigger_fire_ops_per_sec", trigFast);
 
     std::printf("\nscheduler head-to-head, hold model "
                 "(best of %d reps)\n", kHoldReps);

@@ -76,6 +76,68 @@ BM_ChannelPingPong(benchmark::State &state)
 }
 BENCHMARK(BM_ChannelPingPong)->Arg(10000);
 
+/**
+ * Uncontended Resource round-trip: the unit is always available, so
+ * every acquire() is an inline grant (await_ready true, no event, no
+ * suspension) and release() finds no waiters. This is the fast path
+ * the calendar bus engine mirrors arithmetically; tracking it here
+ * keeps the baseline honest.
+ */
+void
+BM_ResourceUncontendedAcquire(benchmark::State &state)
+{
+    const int ops = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Simulator sim;
+        Resource res(1);
+        auto user = [](Resource *r, int n) -> Coro<void> {
+            for (int i = 0; i < n; ++i) {
+                co_await r->acquire();
+                r->release();
+            }
+        };
+        sim.spawn(user(&res, ops));
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * ops);
+}
+BENCHMARK(BM_ResourceUncontendedAcquire)->Arg(100000);
+
+/**
+ * Single-waiter Trigger round-trip: one coroutine blocks on wait(),
+ * another fires — one wake event plus one yield event per round.
+ * The network's completion notifications (XferOp::done) are exactly
+ * this shape.
+ */
+void
+BM_TriggerSingleWaiterFire(benchmark::State &state)
+{
+    const int rounds = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Simulator sim;
+        Trigger trig;
+        auto waiter = [](Trigger *t, int n) -> Coro<void> {
+            for (int i = 0; i < n; ++i) {
+                co_await t->wait();
+                t->reset();
+            }
+        };
+        auto firer = [](Trigger *t, int n) -> Coro<void> {
+            for (int i = 0; i < n; ++i) {
+                t->fire();
+                // The wake was scheduled first, so this yield resumes
+                // us after the waiter has re-armed the trigger.
+                co_await yield();
+            }
+        };
+        sim.spawn(waiter(&trig, rounds));
+        sim.spawn(firer(&trig, rounds));
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_TriggerSingleWaiterFire)->Arg(100000);
+
 void
 BM_ResourceContention(benchmark::State &state)
 {

@@ -1,0 +1,36 @@
+#include "bus/xfer.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace howsim::bus
+{
+
+const char *
+xferPolicyName(XferPolicy policy)
+{
+    return policy == XferPolicy::Coro ? "coro" : "calendar";
+}
+
+XferPolicy
+defaultXferPolicy()
+{
+    const char *env = std::getenv("HOWSIM_XFER");
+    if (!env || !*env)
+        return XferPolicy::Calendar;
+    if (std::strcmp(env, "calendar") == 0)
+        return XferPolicy::Calendar;
+    if (std::strcmp(env, "coro") == 0)
+        return XferPolicy::Coro;
+    static bool warned = false;
+    if (!warned) {
+        warned = true;
+        warn("ignoring unknown HOWSIM_XFER=\"%s\" "
+             "(expected \"coro\" or \"calendar\")", env);
+    }
+    return XferPolicy::Calendar;
+}
+
+} // namespace howsim::bus

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "bus/xfer.hh"
 #include "core/runner.hh"
 #include "sim/logging.hh"
 #include "sim/sched.hh"
@@ -96,9 +97,11 @@ BenchHarness::~BenchHarness()
         body += strprintf(",\n    \"events_per_sec\": %.6g",
                           static_cast<double>(events) / wall);
     }
-    body += strprintf(",\n    \"jobs\": %d,\n    \"sched\": \"%s\"",
+    body += strprintf(",\n    \"jobs\": %d,\n    \"sched\": \"%s\""
+                      ",\n    \"xfer\": \"%s\"",
                       defaultJobs(),
-                      sim::schedPolicyName(sim::defaultSchedPolicy()));
+                      sim::schedPolicyName(sim::defaultSchedPolicy()),
+                      bus::xferPolicyName(bus::defaultXferPolicy()));
     for (const auto &[key, value] : extras)
         body += strprintf(",\n    \"%s\": %.6g", key.c_str(), value);
     body += "\n  }";

@@ -72,6 +72,7 @@ runExperiment(const ExperimentConfig &config)
         params.interconnectLoops = config.interconnectLoops;
         params.directD2d = config.directD2d;
         params.frontendCpuMhz = config.adFrontendMhz;
+        params.xfer = config.xfer;
         diskos::ActiveDiskArray machine(simulator, config.scale,
                                         config.drive, params);
         tasks::AdTaskRunner runner(simulator, machine, config.costs);
@@ -82,6 +83,8 @@ runExperiment(const ExperimentConfig &config)
       }
       case Arch::Cluster: {
         arch::ClusterParams params;
+        params.net.xfer = config.xfer;
+        params.nodeBus.xfer = config.xfer;
         arch::ClusterMachine machine(simulator, config.scale,
                                      config.drive, params);
         tasks::ClusterTaskRunner runner(simulator, machine,
@@ -95,6 +98,7 @@ runExperiment(const ExperimentConfig &config)
         smp::SmpParams params;
         params.fcRate = config.interconnectRate;
         params.fcLoops = config.interconnectLoops;
+        params.xfer = config.xfer;
         smp::SmpMachine machine(simulator, config.scale, config.scale,
                                 config.drive, params);
         tasks::SmpTaskRunner runner(simulator, machine, config.costs);

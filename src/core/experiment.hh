@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "bus/xfer.hh"
 #include "disk/disk_spec.hh"
 #include "sim/sched.hh"
 #include "tasks/task_result.hh"
@@ -77,6 +78,15 @@ struct ExperimentConfig
      * time); defaults to the HOWSIM_SCHED environment selection.
      */
     sim::SchedPolicy sched = sim::defaultSchedPolicy();
+
+    /**
+     * Transfer engine for every interconnect in the machine (the
+     * cluster fabric and node buses, the Active Disk loop, the SMP
+     * buses). Like @ref sched this is a host-side choice only:
+     * simulated results are bit-identical under either engine
+     * (DESIGN.md §12). Defaults to the HOWSIM_XFER selection.
+     */
+    bus::XferPolicy xfer = bus::defaultXferPolicy();
 
     workload::CostModel costs = workload::CostModel::calibrated();
 };

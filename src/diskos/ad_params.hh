@@ -50,6 +50,9 @@ struct AdParams
     /** Loops composing the serial interconnect. */
     int interconnectLoops = 2;
 
+    /** Transfer engine for the interconnect (host-side choice). */
+    bus::XferPolicy xfer = bus::defaultXferPolicy();
+
     /** Front-end host processor clock (Pentium II). */
     double frontendCpuMhz = 450;
 
@@ -94,8 +97,10 @@ struct AdParams
     bus::BusParams
     interconnect() const
     {
-        return bus::BusParams::fibreChannel(interconnectRate,
-                                            interconnectLoops);
+        bus::BusParams p = bus::BusParams::fibreChannel(
+            interconnectRate, interconnectLoops);
+        p.xfer = xfer;
+        return p;
     }
 };
 

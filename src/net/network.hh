@@ -14,6 +14,26 @@
  * (sender NIC -> uplink -> downlink -> receiver NIC), each stage
  * being a FIFO queue-based bus. Contention therefore emerges at
  * whichever stage is oversubscribed.
+ *
+ * Two transfer engines implement the frame train (NetParams::xfer,
+ * HOWSIM_XFER). The reference path spawns a coroutine per frame. The
+ * calendar path drives the same event schedule from arithmetic
+ * bookings on the stage buses and, when every stage is quiet,
+ * collapses the whole train into a closed-form pipeline schedule —
+ * O(path length) events for an N-frame message — that demotes back
+ * to per-frame bookings the moment a competing transfer books one of
+ * its stages. Timing, statistics and completion order are identical
+ * between the engines (DESIGN.md §12).
+ *
+ * Accounting semantics:
+ *  - Loopback (src == dst) is local delivery: it completes in zero
+ *    simulated time and never touches the fabric, so it counts in
+ *    both endpoints' HostTraffic but not in totalBytes() (which
+ *    counts fabric bytes only).
+ *  - A zero-byte message is a control message: it traverses the
+ *    path as one minimal frame (so it costs real fabric time and
+ *    contends like any send) but adds zero bytes to HostTraffic and
+ *    totalBytes().
  */
 
 #ifndef HOWSIM_NET_NETWORK_HH
@@ -21,9 +41,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "bus/bus.hh"
+#include "bus/xfer.hh"
 #include "sim/awaitables.hh"
 #include "sim/coro.hh"
 #include "sim/simulator.hh"
@@ -57,6 +79,9 @@ struct NetParams
 
     /** Segmentation unit for pipelining across hops. */
     std::uint32_t frameBytes = 64 * 1024;
+
+    /** Transfer engine for the stage buses and the frame train. */
+    bus::XferPolicy xfer = bus::defaultXferPolicy();
 };
 
 /** Per-host traffic counters. */
@@ -80,7 +105,8 @@ class Network
 
     /**
      * Move @p bytes from @p src to @p dst; completes when the final
-     * frame reaches the destination NIC.
+     * frame reaches the destination NIC. See the file comment for
+     * the loopback and zero-byte semantics.
      */
     sim::Coro<void> transport(int src, int dst, std::uint64_t bytes);
 
@@ -89,7 +115,7 @@ class Network
     const NetParams &params() const { return netParams; }
     const HostTraffic &traffic(int host) const;
 
-    /** Total bytes moved across the fabric. */
+    /** Total bytes moved across the fabric (loopback excluded). */
     std::uint64_t totalBytes() const { return movedBytes; }
 
   private:
@@ -106,17 +132,32 @@ class Network
         HostTraffic traffic;
     };
 
+    struct XferOp;
+
     int edgeOf(int host) const { return host / netParams.hostsPerSwitch; }
 
     sim::Coro<void> forwardFrame(int src, int dst, std::uint32_t bytes,
                                  bool cross_edge, int *arrived,
                                  int total, sim::Trigger *done);
 
+    /**
+     * Completion of a collapsed frame train, in two event hops (arm
+     * at the delivering frame's grant tick, finish at delivery).
+     * Reached through the id table so a train demoted after the
+     * events were scheduled is simply a stale id, never a dangling
+     * pointer.
+     */
+    void armReserved(std::uint64_t id);
+    void finishReserved(std::uint64_t id);
+
     sim::Simulator &simulator;
     NetParams netParams;
     std::vector<Host> hosts;
     std::vector<Edge> edges;
     std::uint64_t movedBytes = 0;
+    int opsInFlight = 0; //!< calendar-path transfers in flight
+    std::unordered_map<std::uint64_t, XferOp *> reservedOps;
+    std::uint64_t nextOpId = 1;
     obs::Counter *obsMoved = nullptr; //!< null when obs is off
 };
 

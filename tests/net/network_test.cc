@@ -154,6 +154,94 @@ TEST(Network, TrafficCountersTrackEndpoints)
     EXPECT_EQ(net.totalBytes(), 12000u);
 }
 
+TEST(Network, LoopbackCountsEndpointTrafficButNotFabricBytes)
+{
+    Simulator sim;
+    Network net(sim, 4);
+    auto body = [&]() -> Coro<void> {
+        co_await net.transport(1, 1, 123456);
+    };
+    sim.spawn(body());
+    sim.run();
+    // Local delivery: both endpoint counters tick on the one host...
+    EXPECT_EQ(net.traffic(1).bytesSent, 123456u);
+    EXPECT_EQ(net.traffic(1).bytesReceived, 123456u);
+    // ...but nothing crossed the fabric.
+    EXPECT_EQ(net.totalBytes(), 0u);
+}
+
+TEST(Network, ZeroByteLoopbackIsFreeAndUncounted)
+{
+    Simulator sim;
+    Network net(sim, 4);
+    Tick done = maxTick;
+    auto body = [&]() -> Coro<void> {
+        co_await net.transport(2, 2, 0);
+        done = Simulator::current()->now();
+    };
+    sim.spawn(body());
+    sim.run();
+    EXPECT_EQ(done, 0u);
+    EXPECT_EQ(net.traffic(2).bytesSent, 0u);
+    EXPECT_EQ(net.traffic(2).bytesReceived, 0u);
+    EXPECT_EQ(net.totalBytes(), 0u);
+}
+
+TEST(Network, ZeroByteMessageCrossesFabricAsMinimalFrame)
+{
+    // A zero-byte control message takes exactly the time of a
+    // one-byte message (one minimal wire frame)...
+    auto elapsed = [](std::uint64_t bytes) {
+        Simulator sim;
+        Network net(sim, 4);
+        Tick done = maxTick;
+        auto body = [&]() -> Coro<void> {
+            co_await net.transport(0, 1, bytes);
+            done = Simulator::current()->now();
+        };
+        sim.spawn(body());
+        sim.run();
+        return done;
+    };
+    Tick zero = elapsed(0);
+    EXPECT_GT(zero, 0u);
+    EXPECT_EQ(zero, elapsed(1));
+
+    // ...but the byte accounting stays at zero on every counter.
+    Simulator sim;
+    Network net(sim, 4);
+    auto body = [&]() -> Coro<void> {
+        co_await net.transport(0, 1, 0);
+    };
+    sim.spawn(body());
+    sim.run();
+    EXPECT_EQ(net.traffic(0).bytesSent, 0u);
+    EXPECT_EQ(net.traffic(1).bytesReceived, 0u);
+    EXPECT_EQ(net.totalBytes(), 0u);
+}
+
+TEST(Network, ZeroByteMessagesContendForTheFabric)
+{
+    // Two control messages from one sender serialize on its NIC:
+    // the pair finishes strictly later than a single send.
+    auto finishOf = [](int sends) {
+        Simulator sim;
+        Network net(sim, 4);
+        Tick done = 0;
+        int pendingSends = sends;
+        auto body = [&]() -> Coro<void> {
+            co_await net.transport(0, 1, 0);
+            if (--pendingSends == 0)
+                done = Simulator::current()->now();
+        };
+        for (int i = 0; i < sends; ++i)
+            sim.spawn(body());
+        sim.run();
+        return done;
+    };
+    EXPECT_GT(finishOf(2), finishOf(1));
+}
+
 TEST(Network, ManySmallMessagesComplete)
 {
     Simulator sim;
