@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Degraded-mode sweep: how much does each architecture slow down
+ * under injected faults, at the paper's scales? Runs select at 16-128
+ * disks per architecture under three fault regimes — media errors
+ * with remapped sectors, fail-slow disks plus a lossy interconnect,
+ * and a mid-scan fail-stop of disk 1 — and prints the slowdown
+ * relative to the fault-free run. Output bytes are asserted invariant:
+ * a degraded run that loses data is a bug, not a data point.
+ *
+ * Usage: degraded_sweep [--quick]   (--quick sweeps 16-32 only)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "core/runner.hh"
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+using namespace howsim;
+using core::Arch;
+using core::ExperimentConfig;
+using workload::TaskKind;
+
+namespace
+{
+
+constexpr const char *kMediaSpec =
+    "seed=42,disk.media.rate=5e-3,disk.remap.rate=1e-3";
+constexpr const char *kSlowNetSpec =
+    "seed=42,disk.slow.frac=0.25,disk.slow.factor=2,"
+    "net.drop.rate=2e-3,net.corrupt.rate=1e-3";
+
+ExperimentConfig
+configFor(Arch arch, int scale)
+{
+    ExperimentConfig config;
+    config.arch = arch;
+    config.task = TaskKind::Select;
+    config.scale = scale;
+    return config;
+}
+
+/** Kill disk 1 a third of the way into the fault-free runtime. */
+std::string
+failStopSpec(const tasks::TaskResult &faultFree)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf),
+                  "seed=42,stop.disk=1,stop.at.ms=%.3f",
+                  sim::toSeconds(faultFree.elapsedTicks) * 1e3 / 3.0);
+    return buf;
+}
+
+std::string
+slowdown(const tasks::TaskResult &degraded,
+         const tasks::TaskResult &faultFree)
+{
+    if (degraded.outputBytes != faultFree.outputBytes) {
+        panic("degraded run lost data: %llu output bytes vs %llu "
+              "fault-free",
+              static_cast<unsigned long long>(degraded.outputBytes),
+              static_cast<unsigned long long>(faultFree.outputBytes));
+    }
+    double ratio = degraded.seconds() / faultFree.seconds();
+    return core::Table::num(ratio, 3) + "x";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    std::vector<int> scales = quick ? std::vector<int>{16, 32}
+                                    : std::vector<int>{16, 32, 64, 128};
+    const std::vector<Arch> archs
+        = {Arch::ActiveDisk, Arch::Cluster, Arch::Smp};
+
+    std::printf("Degraded-mode sweep: select, slowdown vs fault-free\n");
+    std::printf("(media = %s)\n", kMediaSpec);
+    std::printf("(slow+net = %s)\n", kSlowNetSpec);
+    std::printf("(failstop = disk 1 dies at 1/3 of the fault-free "
+                "runtime)\n\n");
+
+    // Fault-free baselines first (also the anchor for stop.at), then
+    // every degraded run in one parallel batch.
+    std::vector<ExperimentConfig> baseConfigs;
+    for (int scale : scales)
+        for (Arch arch : archs)
+            baseConfigs.push_back(configFor(arch, scale));
+    auto baselines = core::runExperiments(baseConfigs);
+
+    std::vector<ExperimentConfig> degradedConfigs;
+    for (std::size_t i = 0; i < baseConfigs.size(); ++i) {
+        auto config = baseConfigs[i];
+        config.faults = kMediaSpec;
+        degradedConfigs.push_back(config);
+        config.faults = kSlowNetSpec;
+        degradedConfigs.push_back(config);
+        config.faults = failStopSpec(baselines[i]);
+        degradedConfigs.push_back(config);
+    }
+    auto degraded = core::runExperiments(degradedConfigs);
+
+    core::Table table({"arch", "disks", "fault-free s", "media",
+                       "slow+net", "failstop"});
+    for (std::size_t i = 0; i < baseConfigs.size(); ++i) {
+        const auto &base = baselines[i];
+        table.addRow({core::archName(baseConfigs[i].arch),
+                      std::to_string(baseConfigs[i].scale),
+                      core::Table::num(base.seconds(), 3),
+                      slowdown(degraded[3 * i], base),
+                      slowdown(degraded[3 * i + 1], base),
+                      slowdown(degraded[3 * i + 2], base)});
+    }
+    table.print();
+    table.maybeWriteCsv("degraded_sweep");
+    return 0;
+}

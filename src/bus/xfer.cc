@@ -24,13 +24,9 @@ defaultXferPolicy()
         return XferPolicy::Calendar;
     if (std::strcmp(env, "coro") == 0)
         return XferPolicy::Coro;
-    static bool warned = false;
-    if (!warned) {
-        warned = true;
-        warn("ignoring unknown HOWSIM_XFER=\"%s\" "
-             "(expected \"coro\" or \"calendar\")", env);
-    }
-    return XferPolicy::Calendar;
+    fatal("unknown HOWSIM_XFER=\"%s\": expected \"calendar\" or "
+          "\"coro\"",
+          env);
 }
 
 } // namespace howsim::bus

@@ -5,6 +5,7 @@
 #include "arch/cluster_machine.hh"
 #include "arch/cost_model.hh"
 #include "diskos/active_disk_array.hh"
+#include "fault/fault.hh"
 #include "obs/obs.hh"
 #include "sim/logging.hh"
 #include "sim/simulator.hh"
@@ -52,17 +53,102 @@ experimentLabel(const ExperimentConfig &config)
                      config.scale);
 }
 
+/**
+ * Reject configurations the machine builders would turn into cryptic
+ * failures (or worse, silent nonsense). The full table of checks is
+ * in DESIGN.md section 13.
+ */
+void
+validateConfig(const ExperimentConfig &config,
+               const fault::FaultPlan &plan)
+{
+    if (config.scale <= 0) {
+        fatal("ExperimentConfig: scale=%d; the disk/processor count "
+              "must be positive",
+              config.scale);
+    }
+    if (config.adMemoryBytes == 0)
+        fatal("ExperimentConfig: adMemoryBytes must be positive");
+    if (config.interconnectRate <= 0.0) {
+        fatal("ExperimentConfig: interconnectRate=%g bytes/s; the "
+              "serial interconnect rate must be positive",
+              config.interconnectRate);
+    }
+    if (config.interconnectLoops <= 0) {
+        fatal("ExperimentConfig: interconnectLoops=%d; at least one "
+              "loop is required",
+              config.interconnectLoops);
+    }
+    if (config.adFrontendMhz <= 0.0) {
+        fatal("ExperimentConfig: adFrontendMhz=%g; the front-end "
+              "clock must be positive",
+              config.adFrontendMhz);
+    }
+    if (config.drive.sectorBytes == 0)
+        fatal("ExperimentConfig: drive.sectorBytes must be positive");
+    if (plan.stopConfigured()) {
+        if (plan.stopDisk >= config.scale) {
+            fatal("fault plan: stop.disk=%d is out of range for "
+                  "scale=%d (victims are numbered [0, scale))",
+                  plan.stopDisk, config.scale);
+        }
+        if (config.scale < 2) {
+            fatal("fault plan: stop.disk needs scale >= 2 so "
+                  "survivors can absorb the victim's work");
+        }
+        switch (config.task) {
+          case workload::TaskKind::Select:
+          case workload::TaskKind::Aggregate:
+          case workload::TaskKind::GroupBy:
+            break;
+          default:
+            fatal("fault plan: stop.disk is only supported for the "
+                  "scan tasks (select, aggregate, groupby), not %s",
+                  workload::taskName(config.task).c_str());
+        }
+    }
+}
+
+/** Fold the injector's totals into the session's metrics JSON. */
+void
+publishFaultMetrics(obs::Session *sess, fault::Injector *inj)
+{
+    if (!sess || !inj)
+        return;
+    const fault::Counters &c = inj->counters();
+    auto &m = sess->metrics();
+    m.counter("fault.disk.slow_requests").add(c.diskSlowRequests);
+    m.counter("fault.disk.slow_ticks")
+        .add(static_cast<std::uint64_t>(c.diskSlowTicks));
+    m.counter("fault.disk.media_errors").add(c.diskMediaErrors);
+    m.counter("fault.disk.retries").add(c.diskRetries);
+    m.counter("fault.disk.remaps").add(c.diskRemaps);
+    m.counter("fault.net.drops").add(c.netDrops);
+    m.counter("fault.net.corruptions").add(c.netCorruptions);
+    m.counter("fault.net.retransmits").add(c.netRetransmits);
+    m.counter("fault.stop.deaths").add(c.stopDeaths);
+    m.counter("fault.stop.redirects").add(c.stopRedirects);
+    m.counter("fault.stop.recovered_blocks").add(c.recoveredBlocks);
+}
+
 } // namespace
 
 tasks::TaskResult
 runExperiment(const ExperimentConfig &config)
 {
+    fault::FaultPlan plan
+        = config.faults.empty() ? fault::FaultPlan::fromEnv()
+                                : fault::FaultPlan::parse(config.faults);
+    validateConfig(config, plan);
     auto data = workload::DatasetSpec::forTask(config.task);
     // One observability session per experiment (active only when the
     // HOWSIM_TRACE_DIR / HOWSIM_METRICS switches are set). Each
     // session is thread-local and writes its own files, so the
     // parallel runner needs no cross-thread merging.
     auto obsSession = obs::Session::fromEnv(experimentLabel(config));
+    // Installed after the obs session so the scope can register its
+    // fault-class timeline probes; inactive plans install nothing.
+    fault::Scope faultScope(plan);
     sim::Simulator simulator(config.sched);
     switch (config.arch) {
       case Arch::ActiveDisk: {
@@ -77,6 +163,7 @@ runExperiment(const ExperimentConfig &config)
                                         config.drive, params);
         tasks::AdTaskRunner runner(simulator, machine, config.costs);
         auto result = runner.run(config.task, data);
+        publishFaultMetrics(obsSession.get(), faultScope.injector());
         if (obsSession)
             obsSession->dump(); // while probed components are alive
         return result;
@@ -90,6 +177,7 @@ runExperiment(const ExperimentConfig &config)
         tasks::ClusterTaskRunner runner(simulator, machine,
                                         config.costs);
         auto result = runner.run(config.task, data);
+        publishFaultMetrics(obsSession.get(), faultScope.injector());
         if (obsSession)
             obsSession->dump();
         return result;
@@ -103,6 +191,7 @@ runExperiment(const ExperimentConfig &config)
                                 config.drive, params);
         tasks::SmpTaskRunner runner(simulator, machine, config.costs);
         auto result = runner.run(config.task, data);
+        publishFaultMetrics(obsSession.get(), faultScope.injector());
         if (obsSession)
             obsSession->dump();
         return result;

@@ -89,6 +89,17 @@ struct ExperimentConfig
     bus::XferPolicy xfer = bus::defaultXferPolicy();
 
     workload::CostModel costs = workload::CostModel::calibrated();
+
+    /**
+     * Fault-injection spec for this experiment (see docs/faults.md
+     * for the grammar, e.g. "seed=42,disk.media.rate=1e-3"). Empty
+     * means "use the HOWSIM_FAULTS environment variable"; both empty
+     * yields a fault-free run. Malformed specs and specs that are
+     * inconsistent with the rest of the configuration (fail-stop
+     * victim out of range, fail-stop under a non-scan task) fatal()
+     * with the offending value.
+     */
+    std::string faults;
 };
 
 /** Build the machine, run the task, and return the timings. */

@@ -2,10 +2,12 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "sim/logging.hh"
+#include "workload/task_kind.hh"
 
 namespace howsim::core
 {
@@ -16,16 +18,37 @@ defaultJobs()
     if (const char *env = std::getenv("HOWSIM_JOBS")) {
         char *end = nullptr;
         long v = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && v >= 1)
-            return static_cast<int>(v);
-        warn("ignoring invalid HOWSIM_JOBS=\"%s\"", env);
+        if (end == env || *end != '\0' || v < 1) {
+            fatal("invalid HOWSIM_JOBS=\"%s\": expected a positive "
+                  "integer worker count",
+                  env);
+        }
+        return static_cast<int>(v);
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+namespace
+{
+
+/** Identity prefix for an experiment's error message. */
+std::string
+experimentIdentity(std::size_t i, const ExperimentConfig &config)
+{
+    return strprintf("experiment %zu (%s %s d%d)", i,
+                     archName(config.arch).c_str(),
+                     workload::taskName(config.task).c_str(),
+                     config.scale);
+}
+
+} // namespace
+
 std::vector<tasks::TaskResult>
-runExperiments(const std::vector<ExperimentConfig> &configs, int jobs)
+runExperiments(const std::vector<ExperimentConfig> &configs,
+               const std::function<tasks::TaskResult(
+                   const ExperimentConfig &)> &runOne,
+               int jobs)
 {
     std::vector<tasks::TaskResult> results(configs.size());
     if (configs.empty())
@@ -35,41 +58,59 @@ runExperiments(const std::vector<ExperimentConfig> &configs, int jobs)
     if (static_cast<std::size_t>(jobs) > configs.size())
         jobs = static_cast<int>(configs.size());
 
-    if (jobs == 1) {
-        for (std::size_t i = 0; i < configs.size(); ++i)
-            results[i] = runExperiment(configs[i]);
-        return results;
-    }
-
-    std::atomic<std::size_t> next{0};
-    std::mutex errorMutex;
-    std::exception_ptr firstError;
-
-    auto worker = [&] {
-        for (;;) {
-            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= configs.size())
-                return;
-            try {
-                results[i] = runExperiment(configs[i]);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(errorMutex);
-                if (!firstError)
-                    firstError = std::current_exception();
-            }
+    // One slot per experiment: a throwing experiment fails only its
+    // own slot, the rest of the batch still runs, and the failure is
+    // reported with the experiment's identity attached.
+    std::vector<std::exception_ptr> errors(configs.size());
+    auto runSlot = [&](std::size_t i) {
+        try {
+            results[i] = runOne(configs[i]);
+        } catch (const std::exception &e) {
+            errors[i] = std::make_exception_ptr(std::runtime_error(
+                experimentIdentity(i, configs[i]) + ": " + e.what()));
+        } catch (...) {
+            errors[i] = std::current_exception();
         }
     };
 
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(jobs));
-    for (int t = 0; t < jobs; ++t)
-        pool.emplace_back(worker);
-    for (auto &thread : pool)
-        thread.join();
+    if (jobs == 1) {
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            runSlot(i);
+    } else {
+        std::atomic<std::size_t> next{0};
+        auto worker = [&] {
+            for (;;) {
+                std::size_t i = next.fetch_add(
+                    1, std::memory_order_relaxed);
+                if (i >= configs.size())
+                    return;
+                runSlot(i);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(jobs));
+        for (int t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (auto &thread : pool)
+            thread.join();
+    }
 
-    if (firstError)
-        std::rethrow_exception(firstError);
+    for (auto &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
     return results;
+}
+
+std::vector<tasks::TaskResult>
+runExperiments(const std::vector<ExperimentConfig> &configs, int jobs)
+{
+    return runExperiments(
+        configs,
+        [](const ExperimentConfig &config) {
+            return runExperiment(config);
+        },
+        jobs);
 }
 
 } // namespace howsim::core

@@ -14,6 +14,7 @@
 #ifndef HOWSIM_CORE_RUNNER_HH
 #define HOWSIM_CORE_RUNNER_HH
 
+#include <functional>
 #include <vector>
 
 #include "core/experiment.hh"
@@ -23,19 +24,33 @@ namespace howsim::core
 
 /**
  * Worker count used when runExperiments() is called with jobs == 0:
- * the HOWSIM_JOBS environment variable when set to a positive
- * integer, otherwise std::thread::hardware_concurrency().
+ * the HOWSIM_JOBS environment variable when set (fatal() if it is not
+ * a positive integer), otherwise
+ * std::thread::hardware_concurrency().
  */
 int defaultJobs();
 
 /**
  * Run every configuration in @p configs and return their results in
  * the same order. Experiments are distributed over @p jobs worker
- * threads (0 = defaultJobs()); the first exception thrown by any
- * experiment is rethrown after all workers finish.
+ * threads (0 = defaultJobs()). An experiment that throws fails only
+ * its own slot; after the pool drains, the lowest-index failure is
+ * rethrown with the experiment's identity (index, architecture,
+ * task, scale) prepended to the message.
  */
 std::vector<tasks::TaskResult>
 runExperiments(const std::vector<ExperimentConfig> &configs,
+               int jobs = 0);
+
+/**
+ * As above, but running @p runOne instead of runExperiment() for
+ * each configuration. This is the seam the error-handling tests use
+ * to inject deliberately-throwing experiments.
+ */
+std::vector<tasks::TaskResult>
+runExperiments(const std::vector<ExperimentConfig> &configs,
+               const std::function<tasks::TaskResult(
+                   const ExperimentConfig &)> &runOne,
                int jobs = 0);
 
 } // namespace howsim::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/fault.hh"
 #include "obs/obs.hh"
 #include "sim/logging.hh"
 
@@ -34,6 +35,20 @@ Disk::Disk(sim::Simulator &s, DiskSpec spec, SchedPolicy pol,
             diskName + ".queue_depth",
             [this] { return static_cast<double>(queue.size()); },
             this);
+    }
+    if (fault::Injector *inj = fault::current()) {
+        if (inj->plan().diskFaultsActive()) {
+            faultInj = inj;
+            faultSite = fault::siteId(diskName);
+            faultSlow = inj->diskIsSlow(faultSite);
+            if (obsSess) {
+                obs::Scope scope(obsSess->metrics(), diskName);
+                obsFaultMedia = &scope.counter("fault.media_errors");
+                obsFaultRemaps = &scope.counter("fault.remap_hits");
+                obsFaultSlowTicks = &scope.counter("fault.slow_ticks");
+                obsFaultRetries = &scope.histogram("fault.retries");
+            }
+        }
     }
     simulator.spawn(serviceLoop(), diskName + ".service");
 }
@@ -251,6 +266,9 @@ Disk::computeTiming(const DiskRequest &req)
         }
     }
 
+    if (faultInj)
+        injectFaults(d, req);
+
     // Commit mechanical state for the position after the transfer.
     sim::Tick end = now + d.serviceTicks();
     headCylinder = pos.cylinder;
@@ -273,6 +291,58 @@ Disk::computeTiming(const DiskRequest &req)
         raValid = false;
     }
     return d;
+}
+
+/**
+ * Perturb one request's timing per the active fault plan. Fail-slow
+ * inflates mechanism time by a constant factor; a transient media
+ * error charges one full revolution per reread; a remapped sector
+ * charges the spare-area round trip (full-stroke seek + revolution).
+ * Decisions hash (seed, drive name, request sequence), so they do not
+ * depend on host threading or scheduler/transfer policy.
+ */
+void
+Disk::injectFaults(AccessDetail &d, const DiskRequest &req)
+{
+    const fault::FaultPlan &plan = faultInj->plan();
+    fault::Counters &ctr = faultInj->counters();
+    const std::uint64_t seq = faultSeq++;
+
+    if (faultSlow) {
+        sim::Tick mech = d.seekTicks + d.rotationTicks + d.mediaTicks;
+        auto extra = static_cast<sim::Tick>(
+            (plan.diskSlowFactor - 1.0) * static_cast<double>(mech));
+        d.faultTicks += extra;
+        ++ctr.diskSlowRequests;
+        ctr.diskSlowTicks += extra;
+        if (obsFaultSlowTicks)
+            obsFaultSlowTicks->add(static_cast<std::uint64_t>(extra));
+    }
+
+    int retries = faultInj->diskMediaRetryCount(faultSite, seq);
+    if (retries > 0) {
+        d.retries = static_cast<std::uint32_t>(retries);
+        d.faultTicks += static_cast<sim::Tick>(retries)
+                        * geom.revolutionTicks();
+        ++ctr.diskMediaErrors;
+        ctr.diskRetries += static_cast<std::uint64_t>(retries);
+        if (obsFaultMedia) {
+            obsFaultMedia->add();
+            obsFaultRetries->sample(
+                static_cast<std::uint64_t>(retries));
+        }
+    }
+
+    if (faultInj->diskRemapHit(faultSite, seq)) {
+        std::uint32_t stroke = diskSpec->totalCylinders() > 1
+                               ? diskSpec->totalCylinders() - 1
+                               : 1;
+        d.faultTicks += seeks.seekTicks(stroke, req.write)
+                        + geom.revolutionTicks();
+        ++ctr.diskRemaps;
+        if (obsFaultRemaps)
+            obsFaultRemaps->add();
+    }
 }
 
 sim::Coro<void>

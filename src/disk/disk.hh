@@ -38,6 +38,11 @@ class Session;
 class TraceSink;
 } // namespace howsim::obs
 
+namespace howsim::fault
+{
+class Injector;
+} // namespace howsim::fault
+
 namespace howsim::disk
 {
 
@@ -68,12 +73,17 @@ struct AccessDetail
     sim::Tick seekTicks = 0;
     sim::Tick rotationTicks = 0;
     sim::Tick mediaTicks = 0;
+    /** Injected fault time: fail-slow inflation, rereads, remaps. */
+    sim::Tick faultTicks = 0;
+    /** Rereads charged for a transient media error (fault injection). */
+    std::uint32_t retries = 0;
     std::uint64_t cacheHitBytes = 0;
 
     sim::Tick
     serviceTicks() const
     {
-        return overheadTicks + seekTicks + rotationTicks + mediaTicks;
+        return overheadTicks + seekTicks + rotationTicks + mediaTicks
+               + faultTicks;
     }
 
     sim::Tick totalTicks() const { return queueTicks + serviceTicks(); }
@@ -161,6 +171,7 @@ class Disk
     sim::Coro<void> serviceLoop();
     std::shared_ptr<Pending> pickNext();
     AccessDetail computeTiming(const DiskRequest &req);
+    void injectFaults(AccessDetail &d, const DiskRequest &req);
     void recordObs(sim::Tick serviceStart, const Pending &pending);
 
     /** Fraction of a revolution the platter covers by time @p t. */
@@ -199,6 +210,17 @@ class Disk
 
     std::vector<TraceRecord> *trace = nullptr;
     DiskStats accumulated;
+
+    // Fault injection (null when the thread's plan has no disk
+    // faults, making the clean path one null check per request).
+    fault::Injector *faultInj = nullptr;
+    std::uint64_t faultSite = 0;
+    std::uint64_t faultSeq = 0;
+    bool faultSlow = false;
+    obs::Counter *obsFaultMedia = nullptr;
+    obs::Counter *obsFaultRemaps = nullptr;
+    obs::Counter *obsFaultSlowTicks = nullptr;
+    obs::Histogram *obsFaultRetries = nullptr;
 
     // Cached observability hooks; all null when observability is off,
     // so the service loop pays one null check per request.

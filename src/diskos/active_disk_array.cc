@@ -1,7 +1,9 @@
 #include "diskos/active_disk_array.hh"
 
+#include <algorithm>
 #include <utility>
 
+#include "fault/fault.hh"
 #include "obs/obs.hh"
 #include "sim/awaitables.hh"
 #include "sim/logging.hh"
@@ -61,6 +63,15 @@ ActiveDiskArray::ActiveDiskArray(sim::Simulator &s, int ndisks,
         s, ndisks,
         net::Barrier::logCost(ndisks, 2 * adParams.interconnect().startup
                                           + sim::microseconds(20)));
+    if (fault::Injector *inj = fault::current()) {
+        if (inj->plan().netFaultsActive()) {
+            faultInj = inj;
+            if (obs::Session *session = obs::session()) {
+                obsRetrans = &session->metrics().counter(
+                    "adloop.fault.retransmits");
+            }
+        }
+    }
 }
 
 disk::Disk &
@@ -102,8 +113,15 @@ ActiveDiskArray::readLocal(int d, std::uint64_t offset,
     const std::uint32_t sector = drv.mech->spec().sectorBytes;
     std::uint64_t first = offset / sector;
     std::uint64_t last = (offset + bytes + sector - 1) / sector;
-    co_await drv.mech->access(disk::DiskRequest{
-        first, static_cast<std::uint32_t>(last - first), false});
+    disk::AccessDetail detail = co_await drv.mech->access(
+        disk::DiskRequest{first,
+                          static_cast<std::uint32_t>(last - first),
+                          false});
+    // DiskOS fields one check-condition per injected media reread.
+    if (detail.retries > 0) {
+        co_await sim::delay(adParams.costs.interrupt
+                            * static_cast<sim::Tick>(detail.retries));
+    }
     co_await sim::delay(adParams.costs.interrupt);
 }
 
@@ -116,8 +134,14 @@ ActiveDiskArray::writeLocal(int d, std::uint64_t offset,
     const std::uint32_t sector = drv.mech->spec().sectorBytes;
     std::uint64_t first = offset / sector;
     std::uint64_t last = (offset + bytes + sector - 1) / sector;
-    co_await drv.mech->access(disk::DiskRequest{
-        first, static_cast<std::uint32_t>(last - first), true});
+    disk::AccessDetail detail = co_await drv.mech->access(
+        disk::DiskRequest{first,
+                          static_cast<std::uint32_t>(last - first),
+                          true});
+    if (detail.retries > 0) {
+        co_await sim::delay(adParams.costs.interrupt
+                            * static_cast<sim::Tick>(detail.retries));
+    }
     co_await sim::delay(adParams.costs.interrupt);
 }
 
@@ -127,15 +151,53 @@ ActiveDiskArray::compute(int d, sim::Tick ref_ticks)
     co_await drives[static_cast<std::size_t>(d)].cpu->compute(ref_ticks);
 }
 
+/**
+ * One interconnect crossing with injected frame loss. A dropped frame
+ * still occupied the loop for its full transfer time and is noticed
+ * only by the sender's retransmission timeout (doubling per attempt);
+ * corruption is caught by the receiver's checksum and NACKed after
+ * one controller-interrupt round trip. Outcomes hash (seed, link,
+ * sequence, attempt), so runs are bit-reproducible.
+ */
 sim::Coro<void>
-ActiveDiskArray::relayViaFrontend(std::uint64_t bytes)
+ActiveDiskArray::loopTransfer(int src, int dst, std::uint64_t bytes)
+{
+    const fault::FaultPlan &plan = faultInj->plan();
+    const std::uint64_t site = fault::linkSite(src, dst);
+    const std::uint64_t seq = linkSeq[{src, dst}]++;
+    for (int attempt = 0;; ++attempt) {
+        co_await fc->transfer(bytes);
+        fault::Injector::NetFail outcome
+            = faultInj->netAttempt(site, seq, attempt);
+        if (outcome == fault::Injector::NetFail::None)
+            co_return;
+        fault::Counters &ctr = faultInj->counters();
+        ++ctr.netRetransmits;
+        if (obsRetrans)
+            obsRetrans->add();
+        if (outcome == fault::Injector::NetFail::Drop) {
+            ++ctr.netDrops;
+            co_await sim::delay(plan.netTimeout
+                                << std::min(attempt, 16));
+        } else {
+            ++ctr.netCorruptions;
+            co_await sim::delay(2 * adParams.costs.interrupt);
+        }
+    }
+}
+
+sim::Coro<void>
+ActiveDiskArray::relayViaFrontend(int dst, std::uint64_t bytes)
 {
     // The block lands in front-end memory and is copied out again by
     // the front-end CPU; both copies contend for that single CPU.
     co_await feBuffers->acquire();
     co_await feCpu->copyBytes(bytes, adParams.frontendCopyRefRate());
     co_await feCpu->copyBytes(bytes, adParams.frontendCopyRefRate());
-    co_await fc->transfer(bytes);
+    if (faultInj)
+        co_await loopTransfer(-1, dst, bytes);
+    else
+        co_await fc->transfer(bytes);
     feBuffers->release();
     feStats.bytesRelayed += bytes;
 }
@@ -150,9 +212,15 @@ ActiveDiskArray::send(int src, int dst, AdBlock block)
     std::uint64_t bytes = block.bytes;
 
     co_await from.commBuffers->acquire();
-    co_await fc->transfer(bytes);
+    // First crossing reaches the peer directly or lands at the
+    // front-end for relay, depending on the architecture.
+    if (faultInj)
+        co_await loopTransfer(src, adParams.directD2d ? dst : -1,
+                              bytes);
+    else
+        co_await fc->transfer(bytes);
     if (!adParams.directD2d)
-        co_await relayViaFrontend(bytes);
+        co_await relayViaFrontend(dst, bytes);
     from.commBuffers->release();
 
     from.stats.bytesSent += bytes;
@@ -171,7 +239,10 @@ ActiveDiskArray::sendToFrontend(int src, AdBlock block)
     std::uint64_t bytes = block.bytes;
 
     co_await from.commBuffers->acquire();
-    co_await fc->transfer(bytes);
+    if (faultInj)
+        co_await loopTransfer(src, -1, bytes);
+    else
+        co_await fc->transfer(bytes);
     // Ingest copy into front-end memory.
     co_await feCpu->copyBytes(bytes, adParams.frontendCopyRefRate());
     from.commBuffers->release();
@@ -189,7 +260,10 @@ ActiveDiskArray::frontendSend(int dst, AdBlock block)
     block.src = -1;
     std::uint64_t bytes = block.bytes;
     co_await feCpu->copyBytes(bytes, adParams.frontendCopyRefRate());
-    co_await fc->transfer(bytes);
+    if (faultInj)
+        co_await loopTransfer(-1, dst, bytes);
+    else
+        co_await fc->transfer(bytes);
     drives[static_cast<std::size_t>(dst)].stats.bytesReceived += bytes;
     co_await drives[static_cast<std::size_t>(dst)].inbox->send(
         std::move(block));

@@ -19,7 +19,9 @@
 
 #include <any>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "bus/bus.hh"
@@ -31,6 +33,16 @@
 #include "sim/coro.hh"
 #include "sim/resource.hh"
 #include "sim/simulator.hh"
+
+namespace howsim::obs
+{
+class Counter;
+} // namespace howsim::obs
+
+namespace howsim::fault
+{
+class Injector;
+} // namespace howsim::fault
 
 namespace howsim::diskos
 {
@@ -142,7 +154,16 @@ class ActiveDiskArray
         AdDiskStats stats;
     };
 
-    sim::Coro<void> relayViaFrontend(std::uint64_t bytes);
+    sim::Coro<void> relayViaFrontend(int dst, std::uint64_t bytes);
+
+    /**
+     * One interconnect crossing src -> dst (-1 = the front-end) with
+     * injected frame loss: timeout + retransmit with exponential
+     * backoff on a drop, immediate NACK retransmit on corruption.
+     * Callers branch to the plain fc transfer when faults are off.
+     */
+    sim::Coro<void> loopTransfer(int src, int dst,
+                                 std::uint64_t bytes);
 
     sim::Simulator &simulator;
     AdParams adParams;
@@ -153,6 +174,11 @@ class ActiveDiskArray
     std::unique_ptr<sim::Channel<AdBlock>> feInbox;
     std::unique_ptr<net::Barrier> syncBarrier;
     FrontendStats feStats;
+
+    // Fault injection (null when the plan has no network faults).
+    fault::Injector *faultInj = nullptr;
+    std::map<std::pair<int, int>, std::uint64_t> linkSeq;
+    obs::Counter *obsRetrans = nullptr;
 };
 
 } // namespace howsim::diskos

@@ -1,0 +1,293 @@
+#include "fault/fault.hh"
+
+#include <cstdlib>
+
+#include "obs/obs.hh"
+#include "sim/logging.hh"
+
+namespace howsim::fault
+{
+
+namespace
+{
+
+thread_local Injector *tlsInjector = nullptr;
+
+/** splitmix64 finalizer: the core of every injection decision. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Uniform draw in [0, 1) for (seed, site, seq, draw). */
+double
+unitDraw(std::uint64_t seed, std::uint64_t site, std::uint64_t seq,
+         std::uint64_t draw)
+{
+    std::uint64_t h = mix64(mix64(mix64(mix64(seed) ^ site) ^ seq)
+                            ^ draw);
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double
+parseDouble(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        fatal("fault spec: %s=\"%s\" is not a number", key.c_str(),
+              value.c_str());
+    return v;
+}
+
+long
+parseInt(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    long v = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        fatal("fault spec: %s=\"%s\" is not an integer", key.c_str(),
+              value.c_str());
+    return v;
+}
+
+double
+parseRate(const std::string &key, const std::string &value)
+{
+    double v = parseDouble(key, value);
+    if (v < 0.0 || v > 1.0)
+        fatal("fault spec: %s=%g must be a probability in [0, 1]",
+              key.c_str(), v);
+    return v;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            fatal("fault spec: \"%s\" is not key=value", item.c_str());
+        std::string key = item.substr(0, eq);
+        std::string value = item.substr(eq + 1);
+
+        if (key == "seed") {
+            long v = parseInt(key, value);
+            if (v < 0)
+                fatal("fault spec: seed=%ld must be >= 0", v);
+            plan.seed = static_cast<std::uint64_t>(v);
+        } else if (key == "disk.slow.frac") {
+            plan.diskSlowFrac = parseRate(key, value);
+        } else if (key == "disk.slow.factor") {
+            plan.diskSlowFactor = parseDouble(key, value);
+            if (plan.diskSlowFactor < 1.0)
+                fatal("fault spec: disk.slow.factor=%g must be >= 1",
+                      plan.diskSlowFactor);
+        } else if (key == "disk.media.rate") {
+            plan.diskMediaRate = parseRate(key, value);
+        } else if (key == "disk.media.retries") {
+            long v = parseInt(key, value);
+            if (v < 1)
+                fatal("fault spec: disk.media.retries=%ld must be >= 1",
+                      v);
+            plan.diskMediaRetries = static_cast<int>(v);
+        } else if (key == "disk.remap.rate") {
+            plan.diskRemapRate = parseRate(key, value);
+        } else if (key == "net.drop.rate") {
+            plan.netDropRate = parseRate(key, value);
+        } else if (key == "net.corrupt.rate") {
+            plan.netCorruptRate = parseRate(key, value);
+        } else if (key == "net.retries") {
+            long v = parseInt(key, value);
+            if (v < 1)
+                fatal("fault spec: net.retries=%ld must be >= 1", v);
+            plan.netRetries = static_cast<int>(v);
+        } else if (key == "net.timeout.us") {
+            long v = parseInt(key, value);
+            if (v < 1)
+                fatal("fault spec: net.timeout.us=%ld must be >= 1", v);
+            plan.netTimeout = sim::microseconds(
+                static_cast<std::uint64_t>(v));
+        } else if (key == "stop.disk") {
+            long v = parseInt(key, value);
+            if (v < 0)
+                fatal("fault spec: stop.disk=%ld must be >= 0", v);
+            plan.stopDisk = static_cast<int>(v);
+        } else if (key == "stop.at.ms") {
+            double v = parseDouble(key, value);
+            if (v < 0.0)
+                fatal("fault spec: stop.at.ms=%g must be >= 0", v);
+            plan.stopAt = sim::fromSeconds(v * 1e-3);
+        } else if (key == "stop.detect.ms") {
+            double v = parseDouble(key, value);
+            if (v < 0.0)
+                fatal("fault spec: stop.detect.ms=%g must be >= 0", v);
+            plan.stopDetect = sim::fromSeconds(v * 1e-3);
+        } else {
+            fatal("fault spec: unknown key \"%s\" (accepted: seed, "
+                  "disk.slow.frac, disk.slow.factor, disk.media.rate, "
+                  "disk.media.retries, disk.remap.rate, net.drop.rate, "
+                  "net.corrupt.rate, net.retries, net.timeout.us, "
+                  "stop.disk, stop.at.ms, stop.detect.ms)",
+                  key.c_str());
+        }
+    }
+    if (plan.netDropRate + plan.netCorruptRate > 1.0)
+        fatal("fault spec: net.drop.rate + net.corrupt.rate = %g "
+              "exceeds 1",
+              plan.netDropRate + plan.netCorruptRate);
+    return plan;
+}
+
+FaultPlan
+FaultPlan::fromEnv()
+{
+    const char *env = std::getenv("HOWSIM_FAULTS");
+    if (!env || !*env)
+        return FaultPlan{};
+    return parse(env);
+}
+
+std::uint64_t
+siteId(std::string_view name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+linkSite(int src, int dst)
+{
+    // Offset endpoints so -1 (a front-end host) stays distinct.
+    std::uint64_t a = static_cast<std::uint64_t>(src + 2);
+    std::uint64_t b = static_cast<std::uint64_t>(dst + 2);
+    return mix64((a << 32) ^ b);
+}
+
+bool
+Injector::diskIsSlow(std::uint64_t site) const
+{
+    if (faultPlan.diskSlowFrac <= 0.0)
+        return false;
+    return unitDraw(faultPlan.seed, site, 0, 0)
+           < faultPlan.diskSlowFrac;
+}
+
+int
+Injector::diskMediaRetryCount(std::uint64_t site,
+                              std::uint64_t seq) const
+{
+    if (faultPlan.diskMediaRate <= 0.0)
+        return 0;
+    // Draw 1 decides the error; subsequent draws model rereads that
+    // fail again, geometrically, up to the bound.
+    int retries = 0;
+    while (retries < faultPlan.diskMediaRetries
+           && unitDraw(faultPlan.seed, site, seq,
+                       1 + static_cast<std::uint64_t>(retries))
+                  < faultPlan.diskMediaRate) {
+        ++retries;
+    }
+    return retries;
+}
+
+bool
+Injector::diskRemapHit(std::uint64_t site, std::uint64_t seq) const
+{
+    if (faultPlan.diskRemapRate <= 0.0)
+        return false;
+    // Draw index 64+: disjoint from the media-retry draw sequence.
+    return unitDraw(faultPlan.seed, site, seq, 64)
+           < faultPlan.diskRemapRate;
+}
+
+Injector::NetFail
+Injector::netAttempt(std::uint64_t site, std::uint64_t seq,
+                     int attempt) const
+{
+    if (attempt >= faultPlan.netRetries)
+        return NetFail::None; // bounded: the last attempt delivers
+    double u = unitDraw(faultPlan.seed, site, seq,
+                        static_cast<std::uint64_t>(attempt));
+    if (u < faultPlan.netDropRate)
+        return NetFail::Drop;
+    if (u < faultPlan.netDropRate + faultPlan.netCorruptRate)
+        return NetFail::Corrupt;
+    return NetFail::None;
+}
+
+Scope::Scope(const FaultPlan &plan)
+{
+    prev = tlsInjector;
+    if (!plan.active())
+        return;
+    inj = std::make_unique<Injector>(plan);
+    tlsInjector = inj.get();
+    if (obs::Session *session = obs::session()) {
+        obsSess = session;
+        Injector *i = inj.get();
+        session->timeline().probe(
+            "fault.disk.events",
+            [i] {
+                const Counters &c = i->counters();
+                return static_cast<double>(c.diskSlowRequests
+                                           + c.diskMediaErrors
+                                           + c.diskRemaps);
+            },
+            this);
+        session->timeline().probe(
+            "fault.net.events",
+            [i] {
+                const Counters &c = i->counters();
+                return static_cast<double>(c.netDrops
+                                           + c.netCorruptions);
+            },
+            this);
+        session->timeline().probe(
+            "fault.stop.events",
+            [i] {
+                const Counters &c = i->counters();
+                return static_cast<double>(c.stopDeaths
+                                           + c.stopRedirects
+                                           + c.recoveredBlocks);
+            },
+            this);
+    }
+}
+
+Scope::~Scope()
+{
+    // Only deregister while the session we registered with is still
+    // installed; once it unwinds, its dump() already cleared probes.
+    if (obsSess && obs::session() == obsSess)
+        obsSess->timeline().dropProbes(this);
+    if (inj)
+        tlsInjector = prev;
+}
+
+Injector *
+current()
+{
+    return tlsInjector;
+}
+
+} // namespace howsim::fault

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection.
+ *
+ * A FaultPlan describes which perturbations to apply to a run: disk
+ * fail-slow inflation, transient media errors (bounded
+ * retry-with-reread), remapped-sector penalty seeks, per-link frame
+ * drop/corruption with retransmission, and the fail-stop of one
+ * disk/host mid-run. Plans compile from a spec string (see
+ * docs/faults.md for the grammar) supplied via
+ * ExperimentConfig::faults or the HOWSIM_FAULTS environment variable.
+ *
+ * Every injection decision is a pure function
+ *   hash(seed, site, sequence, draw) -> [0, 1)
+ * of the plan seed, a stable site id (disk name, link endpoints), and
+ * a per-site sequence number that advances in simulated event order.
+ * No stateful RNG stream exists, so decisions cannot depend on host
+ * thread interleaving or on which scheduler/transfer engine runs the
+ * events: the same seed and plan give bit-identical results under
+ * serial or parallel runners and under every sched x xfer policy.
+ */
+
+#ifndef HOWSIM_FAULT_FAULT_HH
+#define HOWSIM_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "sim/ticks.hh"
+
+namespace howsim::obs
+{
+class Session;
+} // namespace howsim::obs
+
+namespace howsim::fault
+{
+
+/** Compiled fault-injection plan; all-defaults means "no faults". */
+struct FaultPlan
+{
+    /** Base seed mixed into every injection decision. */
+    std::uint64_t seed = 1;
+
+    /** @name Disk faults */
+    /** @{ */
+
+    /** Fraction of drives that are fail-slow (selected by name hash). */
+    double diskSlowFrac = 0.0;
+
+    /** Mechanism-time multiplier on a fail-slow drive (>= 1). */
+    double diskSlowFactor = 4.0;
+
+    /** Per-request probability of a transient media error. */
+    double diskMediaRate = 0.0;
+
+    /** Maximum rereads charged for one media error (>= 1). */
+    int diskMediaRetries = 3;
+
+    /** Per-request probability of hitting a remapped sector. */
+    double diskRemapRate = 0.0;
+
+    /** @} */
+    /** @name Network / interconnect faults */
+    /** @{ */
+
+    /** Per-attempt probability a transmission is dropped. */
+    double netDropRate = 0.0;
+
+    /** Per-attempt probability a transmission arrives corrupted. */
+    double netCorruptRate = 0.0;
+
+    /** Retransmission bound; the last attempt always delivers. */
+    int netRetries = 8;
+
+    /** Base drop-detection timeout (doubles per retry). */
+    sim::Tick netTimeout = sim::microseconds(1000);
+
+    /** @} */
+    /** @name Fail-stop */
+    /** @{ */
+
+    /** Disk/host index that fail-stops (-1 = none). */
+    int stopDisk = -1;
+
+    /** Simulated time of the fail-stop. */
+    sim::Tick stopAt = 0;
+
+    /** Detection latency (missed heartbeat) before recovery starts. */
+    sim::Tick stopDetect = sim::milliseconds(10);
+
+    /** @} */
+
+    bool
+    diskFaultsActive() const
+    {
+        return diskSlowFrac > 0.0 || diskMediaRate > 0.0
+               || diskRemapRate > 0.0;
+    }
+
+    bool
+    netFaultsActive() const
+    {
+        return netDropRate > 0.0 || netCorruptRate > 0.0;
+    }
+
+    bool stopConfigured() const { return stopDisk >= 0; }
+
+    /** True when any perturbation is configured (seed alone is not). */
+    bool
+    active() const
+    {
+        return diskFaultsActive() || netFaultsActive()
+               || stopConfigured();
+    }
+
+    /**
+     * Compile a spec string ("seed=42,disk.media.rate=1e-3,...").
+     * fatal()s with the offending key/value on any malformed input.
+     * An empty spec yields the default (inactive) plan.
+     */
+    static FaultPlan parse(const std::string &spec);
+
+    /** parse(HOWSIM_FAULTS), or the inactive plan when unset. */
+    static FaultPlan fromEnv();
+};
+
+/** Totals of injected events, readable by tests and timeline probes. */
+struct Counters
+{
+    std::uint64_t diskSlowRequests = 0;
+    sim::Tick diskSlowTicks = 0;
+    std::uint64_t diskMediaErrors = 0;
+    std::uint64_t diskRetries = 0;
+    std::uint64_t diskRemaps = 0;
+    std::uint64_t netDrops = 0;
+    std::uint64_t netCorruptions = 0;
+    std::uint64_t netRetransmits = 0;
+    std::uint64_t stopDeaths = 0;
+    std::uint64_t stopRedirects = 0;
+    std::uint64_t recoveredBlocks = 0;
+};
+
+/** Stable site id for a named component (FNV-1a of the name). */
+std::uint64_t siteId(std::string_view name);
+
+/** Stable site id for a directed link (endpoints may be -1 = host). */
+std::uint64_t linkSite(int src, int dst);
+
+/**
+ * The injection decisions for one plan plus the event totals. One
+ * injector serves one experiment; models cache the thread-local
+ * current() pointer at construction, so the disabled path costs one
+ * null check.
+ */
+class Injector
+{
+  public:
+    explicit Injector(FaultPlan p) : faultPlan(p) {}
+
+    const FaultPlan &plan() const { return faultPlan; }
+    Counters &counters() { return totals; }
+    const Counters &counters() const { return totals; }
+
+    /** Is the drive with this site id fail-slow under the plan? */
+    bool diskIsSlow(std::uint64_t site) const;
+
+    /**
+     * Rereads charged for request #seq on drive @p site: 0 almost
+     * always; >= 1 with probability disk.media.rate, decaying
+     * geometrically up to the disk.media.retries bound.
+     */
+    int diskMediaRetryCount(std::uint64_t site, std::uint64_t seq) const;
+
+    /** Does request #seq on drive @p site hit a remapped sector? */
+    bool diskRemapHit(std::uint64_t site, std::uint64_t seq) const;
+
+    /** Outcome of one transmission attempt. */
+    enum class NetFail
+    {
+        None,
+        Drop,
+        Corrupt,
+    };
+
+    /**
+     * Outcome of attempt #attempt of message #seq on link @p site.
+     * Attempts at or beyond the net.retries bound always deliver.
+     */
+    NetFail netAttempt(std::uint64_t site, std::uint64_t seq,
+                       int attempt) const;
+
+  private:
+    FaultPlan faultPlan;
+    Counters totals;
+};
+
+/**
+ * Installs an Injector as the thread-local current() for the
+ * experiment being built on this thread (mirroring obs::Session).
+ * Inactive plans install nothing, so fault-free runs take the
+ * null-pointer fast path everywhere. When an observability session is
+ * live, the scope registers one timeline probe per fault class
+ * (disk / net / fail-stop) reading the injector's counters.
+ */
+class Scope
+{
+  public:
+    explicit Scope(const FaultPlan &plan);
+    ~Scope();
+
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+    /** The installed injector (null for an inactive plan). */
+    Injector *injector() { return inj.get(); }
+
+  private:
+    std::unique_ptr<Injector> inj;
+    Injector *prev = nullptr;
+    obs::Session *obsSess = nullptr;
+};
+
+/** The thread's active injector, or null when faults are off. */
+Injector *current();
+
+} // namespace howsim::fault
+
+#endif // HOWSIM_FAULT_FAULT_HH

@@ -1,8 +1,10 @@
 #include "net/msg.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
+#include "fault/fault.hh"
 #include "obs/obs.hh"
 #include "sim/awaitables.hh"
 #include "sim/logging.hh"
@@ -17,6 +19,69 @@ MsgLayer::MsgLayer(sim::Simulator &s, Network &n, MsgParams params)
         obsSess = session;
         obsMsgs = &session->metrics().counter("msg.sent");
         obsBytes = &session->metrics().counter("msg.bytes");
+    }
+    if (fault::Injector *inj = fault::current()) {
+        if (inj->plan().netFaultsActive()) {
+            faultInj = inj;
+            if (obsSess) {
+                obsRetrans = &obsSess->metrics().counter(
+                    "msg.fault.retransmits");
+                obsDrops = &obsSess->metrics().counter(
+                    "msg.fault.drops");
+                obsCorrupt = &obsSess->metrics().counter(
+                    "msg.fault.corruptions");
+                obsAttempts = &obsSess->metrics().histogram(
+                    "msg.fault.attempts");
+            }
+        }
+    }
+}
+
+/**
+ * Transport with injected per-link frame loss. Each attempt moves the
+ * bytes over the fabric (a dropped train still occupied the wire); a
+ * drop is noticed by the sender's retransmission timeout, doubling
+ * per attempt (bounded exponential backoff), while corruption is
+ * caught by the receiver's checksum and NACKed after one software
+ * round trip. Attempt outcomes hash (seed, link, message sequence,
+ * attempt), so both transfer engines — whose per-transport completion
+ * ticks are identical by DESIGN.md section 12 — retransmit at
+ * identical ticks.
+ */
+sim::Coro<void>
+MsgLayer::faultyTransport(int src, int dst, std::uint64_t bytes)
+{
+    const fault::FaultPlan &plan = faultInj->plan();
+    const std::uint64_t site = fault::linkSite(src, dst);
+    const std::uint64_t seq = linkSeq[{src, dst}]++;
+    for (int attempt = 0;; ++attempt) {
+        co_await network.transport(src, dst, bytes);
+        fault::Injector::NetFail outcome
+            = faultInj->netAttempt(site, seq, attempt);
+        if (outcome == fault::Injector::NetFail::None) {
+            if (attempt > 0 && obsAttempts) {
+                obsAttempts->sample(
+                    static_cast<std::uint64_t>(attempt + 1));
+            }
+            co_return;
+        }
+        fault::Counters &ctr = faultInj->counters();
+        ++ctr.netRetransmits;
+        if (obsRetrans)
+            obsRetrans->add();
+        if (outcome == fault::Injector::NetFail::Drop) {
+            ++ctr.netDrops;
+            if (obsDrops)
+                obsDrops->add();
+            co_await sim::delay(plan.netTimeout
+                                << std::min(attempt, 16));
+        } else {
+            ++ctr.netCorruptions;
+            if (obsCorrupt)
+                obsCorrupt->add();
+            co_await sim::delay(msgParams.recvOverhead
+                                + msgParams.sendOverhead);
+        }
     }
 }
 
@@ -46,7 +111,11 @@ MsgLayer::send(int src, int dst, Message msg)
         obsBytes->add(msg.bytes);
     }
     co_await sim::delay(msgParams.sendOverhead);
-    co_await network.transport(src, dst, msg.bytes);
+    // Loopback delivery never leaves the host: no injected loss.
+    if (faultInj && src != dst)
+        co_await faultyTransport(src, dst, msg.bytes);
+    else
+        co_await network.transport(src, dst, msg.bytes);
     int tag = msg.tag;
     co_await queueFor(dst, tag).send(std::move(msg));
     if (spanId) {

@@ -26,8 +26,14 @@
 
 namespace howsim::obs
 {
+class Histogram;
 class Session;
 } // namespace howsim::obs
+
+namespace howsim::fault
+{
+class Injector;
+} // namespace howsim::fault
 
 namespace howsim::net
 {
@@ -88,6 +94,8 @@ class MsgLayer
     using Queue = sim::Channel<Message>;
 
     Queue &queueFor(int host, int tag);
+    sim::Coro<void> faultyTransport(int src, int dst,
+                                    std::uint64_t bytes);
 
     sim::Simulator &simulator;
     Network &network;
@@ -97,6 +105,15 @@ class MsgLayer
     obs::Session *obsSess = nullptr;
     obs::Counter *obsMsgs = nullptr;
     obs::Counter *obsBytes = nullptr;
+    // Fault injection: per-link message sequence counters feed the
+    // deterministic drop/corrupt decisions. Null/untouched when the
+    // thread's plan has no network faults.
+    fault::Injector *faultInj = nullptr;
+    std::map<std::pair<int, int>, std::uint64_t> linkSeq;
+    obs::Counter *obsRetrans = nullptr;
+    obs::Counter *obsDrops = nullptr;
+    obs::Counter *obsCorrupt = nullptr;
+    obs::Histogram *obsAttempts = nullptr;
 };
 
 /**

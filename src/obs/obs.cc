@@ -50,8 +50,17 @@ Session::fromEnv(std::string label)
     if (const char *us = std::getenv("HOWSIM_OBS_INTERVAL_US")) {
         char *end = nullptr;
         unsigned long long v = std::strtoull(us, &end, 10);
-        if (end != us && v > 0)
-            opts.sampleInterval = sim::microseconds(v);
+        if (end == us || *end != '\0' || v == 0) {
+            // obs sits below sim in the layering, so it cannot call
+            // sim's fatal(); same contract (message + exit 1).
+            std::fprintf(stderr,
+                         "fatal: invalid HOWSIM_OBS_INTERVAL_US="
+                         "\"%s\": expected a positive integer "
+                         "microsecond interval\n",
+                         us);
+            std::exit(1);
+        }
+        opts.sampleInterval = sim::microseconds(v);
     }
     return std::make_unique<Session>(std::move(label),
                                      std::move(opts));

@@ -45,6 +45,14 @@ RawDisk::io(std::uint64_t offset, std::uint64_t bytes, bool write)
     IoResult result;
     result.detail = co_await diskRef.access(req);
 
+    // Each injected media-error reread surfaces as a check-condition
+    // the driver must field before the transfer completes.
+    if (result.detail.retries > 0) {
+        co_await sim::delay(osCosts.interrupt
+                            * static_cast<sim::Tick>(
+                                result.detail.retries));
+    }
+
     if (attachBus)
         co_await attachBus->transfer(bytes);
 

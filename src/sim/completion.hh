@@ -28,12 +28,17 @@ namespace howsim::sim
 class Completion
 {
   public:
-    /** Fire; wakes the waiter (if any) at the current tick. */
+    /**
+     * Fire; wakes the waiter (if any) at the current tick. Firing
+     * twice is a bug in the signalling event handler — a one-shot
+     * that fires again has lost track of its transfer — so it
+     * panics rather than masking the double signal.
+     */
     void
     fire()
     {
         if (firedFlag)
-            return;
+            panic("Completion fired twice");
         firedFlag = true;
         if (!waiter)
             return;

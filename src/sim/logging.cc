@@ -8,11 +8,8 @@
 namespace howsim
 {
 
-namespace
-{
-
 LogLevel
-levelFromEnv()
+logLevelFromEnv()
 {
     const char *env = std::getenv("HOWSIM_LOG_LEVEL");
     if (!env)
@@ -22,19 +19,20 @@ levelFromEnv()
         return LogLevel::Quiet;
     if (v == "warn")
         return LogLevel::Warn;
-    if (v != "info") {
-        std::fprintf(stderr,
-                     "warn: HOWSIM_LOG_LEVEL '%s' is not one of "
-                     "quiet|warn|info; using info\n",
-                     env);
-    }
-    return LogLevel::Info;
+    if (v == "info")
+        return LogLevel::Info;
+    fatal("unknown HOWSIM_LOG_LEVEL=\"%s\": expected \"quiet\", "
+          "\"warn\", or \"info\"",
+          env);
 }
+
+namespace
+{
 
 LogLevel &
 levelRef()
 {
-    static LogLevel level = levelFromEnv();
+    static LogLevel level = logLevelFromEnv();
     return level;
 }
 

@@ -59,6 +59,13 @@ enum class LogLevel
  */
 LogLevel logLevel();
 
+/**
+ * Re-parse HOWSIM_LOG_LEVEL; fatal()s on an unrecognized value.
+ * logLevel() caches this at first use — the direct entry point
+ * exists so validation is testable after the cache is warm.
+ */
+LogLevel logLevelFromEnv();
+
 /** Override the log level (wins over HOWSIM_LOG_LEVEL). */
 void setLogLevel(LogLevel level);
 

@@ -24,13 +24,9 @@ defaultSchedPolicy()
         return SchedPolicy::Ladder;
     if (std::strcmp(env, "heap") == 0)
         return SchedPolicy::Heap;
-    static bool warned = false;
-    if (!warned) {
-        warned = true;
-        warn("ignoring unknown HOWSIM_SCHED=\"%s\" "
-             "(expected \"heap\" or \"ladder\")", env);
-    }
-    return SchedPolicy::Ladder;
+    fatal("unknown HOWSIM_SCHED=\"%s\": expected \"ladder\" or "
+          "\"heap\"",
+          env);
 }
 
 } // namespace howsim::sim

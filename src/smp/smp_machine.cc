@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "fault/fault.hh"
 #include "sim/awaitables.hh"
 #include "sim/logging.hh"
 
@@ -64,6 +65,15 @@ SmpMachine::SmpMachine(sim::Simulator &s, int nprocs, int ndisks,
         net::Barrier::logCost(nprocs,
                               2 * smpParams.interconnectLatency
                                   + sim::microseconds(2)));
+
+    if (fault::Injector *inj = fault::current()) {
+        const fault::FaultPlan &plan = inj->plan();
+        if (plan.stopConfigured() && plan.stopDisk < ndisks) {
+            stopInj = inj;
+            stopVictim = plan.stopDisk;
+            stopAt = plan.stopAt;
+        }
+    }
 }
 
 disk::Disk &
@@ -90,6 +100,22 @@ SmpMachine::io(DiskGroup group, std::uint64_t offset,
         int disk_idx = group.firstDisk
                        + static_cast<int>(c % static_cast<std::uint64_t>(
                              group.diskCount));
+        if (stopInj && disk_idx == stopVictim
+            && simulator.now() >= stopAt) {
+            if (group.diskCount < 2) {
+                panic("SmpMachine::io: fail-stop of the only drive "
+                      "in the group");
+            }
+            fault::Counters &ctr = stopInj->counters();
+            if (!stopSeen) {
+                stopSeen = true;
+                ++ctr.stopDeaths;
+            }
+            ++ctr.stopRedirects;
+            disk_idx = group.firstDisk
+                       + (disk_idx - group.firstDisk + 1)
+                             % group.diskCount;
+        }
         std::uint64_t row = c / static_cast<std::uint64_t>(
                                 group.diskCount);
         std::uint64_t lo = std::max(offset, c * chunk);

@@ -27,6 +27,11 @@
 #include "sim/resource.hh"
 #include "sim/simulator.hh"
 
+namespace howsim::fault
+{
+class Injector;
+} // namespace howsim::fault
+
 namespace howsim::smp
 {
 
@@ -170,6 +175,13 @@ class SmpMachine
     std::unique_ptr<bus::Bus> fc;
     std::unique_ptr<bus::Bus> xio;
     std::unique_ptr<net::Barrier> syncBarrier;
+
+    // Fail-stop of one farm drive: the OS redirects chunks destined
+    // for the victim to its mirror (the next drive in the group).
+    fault::Injector *stopInj = nullptr;
+    int stopVictim = -1;
+    sim::Tick stopAt = 0;
+    bool stopSeen = false;
 };
 
 } // namespace howsim::smp

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "obs/obs.hh"
 #include "sim/awaitables.hh"
 #include "sim/logging.hh"
@@ -55,6 +56,15 @@ AdTaskRunner::AdTaskRunner(sim::Simulator &s,
                            workload::CostModel costs)
     : simulator(s), machine(machine_), cm(costs)
 {
+    if (fault::Injector *inj = fault::current()) {
+        const fault::FaultPlan &plan = inj->plan();
+        if (plan.stopConfigured() && plan.stopDisk < machine.size()) {
+            stopInj = inj;
+            victim = plan.stopDisk;
+            stopAt = plan.stopAt;
+            stopDetect = plan.stopDetect;
+        }
+    }
 }
 
 Coro<void>
@@ -110,6 +120,7 @@ Coro<void>
 AdTaskRunner::emitToFrontend(int d, std::uint64_t bytes,
                              std::uint64_t *pending, bool flush)
 {
+    result.outputBytes += bytes;
     *pending += bytes;
     while (*pending >= kBlock) {
         co_await machine.sendToFrontend(d, AdBlock{.bytes = kBlock});
@@ -146,6 +157,45 @@ AdTaskRunner::frontendConsumer(Tick per_byte_merge_ref)
     }
 }
 
+AdTaskRunner::ScanCosts
+AdTaskRunner::scanCosts(TaskKind kind, const DatasetSpec &data) const
+{
+    const int n = machine.size();
+    const std::uint64_t local_bytes = data.inputBytes
+                                      / static_cast<std::uint64_t>(n);
+    ScanCosts c;
+    switch (kind) {
+      case TaskKind::Select:
+        c.perTuple = cm.selectPredicate
+                     + static_cast<Tick>(data.selectivity
+                                         * static_cast<double>(
+                                             cm.selectEmit));
+        c.emitRatio = data.selectivity;
+        break;
+      case TaskKind::Aggregate:
+        c.perTuple = cm.aggregateUpdate;
+        c.emitRatio = 0.0;
+        break;
+      case TaskKind::GroupBy: {
+        c.perTuple = cm.groupbyHash;
+        // A memory-resident hash table absorbs duplicate keys
+        // locally (skewed retail keys); emission approximates twice
+        // the drive's share of the final groups.
+        std::uint64_t results = data.distinctGroups * data.tupleBytes;
+        // ~1.5x duplication across devices' partial tables.
+        std::uint64_t emitted = std::min<std::uint64_t>(
+            3 * results / (2 * static_cast<std::uint64_t>(n)),
+            local_bytes);
+        c.emitRatio = static_cast<double>(emitted)
+                      / static_cast<double>(local_bytes);
+        break;
+      }
+      default:
+        panic("scanCosts: unsupported task");
+    }
+    return c;
+}
+
 Coro<void>
 AdTaskRunner::scanWorker(int d, const DatasetSpec &data, TaskKind kind)
 {
@@ -153,40 +203,47 @@ AdTaskRunner::scanWorker(int d, const DatasetSpec &data, TaskKind kind)
     const std::uint64_t local_bytes = data.inputBytes
                                       / static_cast<std::uint64_t>(n);
     const std::uint64_t tuple = data.tupleBytes;
-
-    Tick per_tuple = 0;
-    double emit_ratio = 0.0;
-    switch (kind) {
-      case TaskKind::Select:
-        per_tuple = cm.selectPredicate
-                    + static_cast<Tick>(data.selectivity
-                                        * static_cast<double>(
-                                            cm.selectEmit));
-        emit_ratio = data.selectivity;
-        break;
-      case TaskKind::Aggregate:
-        per_tuple = cm.aggregateUpdate;
-        emit_ratio = 0.0;
-        break;
-      case TaskKind::GroupBy: {
-        per_tuple = cm.groupbyHash;
-        // A memory-resident hash table absorbs duplicate keys
-        // locally (skewed retail keys); emission approximates twice
-        // the drive's share of the final groups.
-        std::uint64_t results = data.distinctGroups * tuple;
-        // ~1.5x duplication across devices' partial tables.
-        std::uint64_t emitted = std::min<std::uint64_t>(
-            3 * results / (2 * static_cast<std::uint64_t>(n)),
-            local_bytes);
-        emit_ratio = static_cast<double>(emitted)
-                     / static_cast<double>(local_bytes);
-        break;
-      }
-      default:
-        panic("scanWorker: unsupported task");
-    }
+    const ScanCosts costs = scanCosts(kind, data);
+    const Tick per_tuple = costs.perTuple;
+    const double emit_ratio = costs.emitRatio;
 
     std::uint64_t pending = 0;
+
+    if (stopInj && d == victim) {
+        // The victim runs a sequential block loop (no pipelined
+        // producer) so death lands exactly at a block boundary: the
+        // drive vanishes with its pending partial result flushed and
+        // no done marker sent. The monitor re-deals the rest.
+        std::uint64_t off = 0;
+        while (off < local_bytes) {
+            if (simulator.now() >= stopAt) {
+                co_await emitToFrontend(d, 0, &pending, true);
+                ++stopInj->counters().stopDeaths;
+                victimDied = true;
+                victimBytesDone = off;
+                victimExit.fire();
+                co_return;
+            }
+            std::uint64_t sz = std::min<std::uint64_t>(
+                kBlock, local_bytes - off);
+            co_await machine.readLocal(d, off, sz);
+            std::uint64_t tuples = sz / tuple;
+            co_await computeIn(d, "scan.cpu", tuples * per_tuple);
+            if (emit_ratio > 0.0) {
+                auto out = static_cast<std::uint64_t>(
+                    static_cast<double>(sz) * emit_ratio);
+                co_await emitToFrontend(d, out, &pending, false);
+            }
+            off += sz;
+        }
+        co_await emitToFrontend(d, 0, &pending, true);
+        victimDied = false;
+        victimBytesDone = local_bytes;
+        victimExit.fire();
+        co_await sendDoneMarker(d);
+        co_return;
+    }
+
     auto consume = [this, d, tuple, per_tuple, emit_ratio,
                     &pending](std::uint64_t blk) -> Coro<void> {
         std::uint64_t tuples = blk / tuple;
@@ -200,6 +257,81 @@ AdTaskRunner::scanWorker(int d, const DatasetSpec &data, TaskKind kind)
     co_await streamLocal(d, 0, local_bytes, consume);
     co_await emitToFrontend(d, 0, &pending, true);
     co_await sendDoneMarker(d);
+}
+
+Coro<void>
+AdTaskRunner::recoveryWorker(int d, std::vector<std::uint64_t> sizes,
+                             const DatasetSpec &data, TaskKind kind)
+{
+    // Survivors read their share of the victim's partition from the
+    // replica region and apply the identical per-block computation
+    // and emission arithmetic, so total emitted bytes match the
+    // fault-free run exactly (floor(block * ratio) summed over the
+    // same block sizes).
+    const ScanCosts costs = scanCosts(kind, data);
+    const std::uint64_t replica = writeRegion(machine);
+    std::uint64_t pending = 0, off = 0;
+    for (std::uint64_t sz : sizes) {
+        co_await machine.readLocal(d, replica + off, sz);
+        std::uint64_t tuples = sz / data.tupleBytes;
+        co_await computeIn(d, "scan.cpu", tuples * costs.perTuple);
+        if (costs.emitRatio > 0.0) {
+            auto out = static_cast<std::uint64_t>(
+                static_cast<double>(sz) * costs.emitRatio);
+            co_await emitToFrontend(d, out, &pending, false);
+        }
+        off += sz;
+        ++stopInj->counters().recoveredBlocks;
+    }
+    co_await emitToFrontend(d, 0, &pending, true);
+}
+
+Coro<void>
+AdTaskRunner::failStopMonitor(const DatasetSpec &data, TaskKind kind)
+{
+    co_await victimExit.wait();
+    if (!victimDied)
+        co_return;
+    // Detection: the victim's heartbeat is missed after stopDetect.
+    co_await sim::delay(stopDetect);
+    obs::Span span("fault", "degraded", "fault");
+
+    const int n = size();
+    if (n < 2)
+        panic("failStopMonitor: no survivors to absorb disk %d",
+              victim);
+    const std::uint64_t local_bytes = data.inputBytes
+                                      / static_cast<std::uint64_t>(n);
+
+    // Deal the victim's unprocessed blocks round-robin to survivors,
+    // preserving the fault-free block sizes.
+    std::vector<std::vector<std::uint64_t>> sizes(
+        static_cast<std::size_t>(n));
+    fault::Counters &ctr = stopInj->counters();
+    int next = (victim + 1) % n;
+    std::uint64_t off = victimBytesDone;
+    while (off < local_bytes) {
+        std::uint64_t sz = std::min<std::uint64_t>(kBlock,
+                                                   local_bytes - off);
+        sizes[static_cast<std::size_t>(next)].push_back(sz);
+        ++ctr.stopRedirects;
+        off += sz;
+        next = (next + 1) % n;
+        if (next == victim)
+            next = (next + 1) % n;
+    }
+
+    std::vector<sim::ProcessRef> workers;
+    for (int d = 0; d < n; ++d) {
+        auto &share = sizes[static_cast<std::size_t>(d)];
+        if (d == victim || share.empty())
+            continue;
+        workers.push_back(simulator.spawn(
+            recoveryWorker(d, std::move(share), data, kind),
+            "recovery-worker"));
+    }
+    co_await sim::joinAll(workers);
+    co_await sendDoneMarker((victim + 1) % n);
 }
 
 Coro<void>
@@ -829,6 +961,9 @@ AdTaskRunner::run(TaskKind kind, const DatasetSpec &data)
         for (int d = 0; d < n; ++d)
             simulator.spawn(scanWorker(d, data, kind), "scan-worker");
         simulator.spawn(frontendConsumer(fe_merge_per_byte), "fe");
+        if (stopInj)
+            simulator.spawn(failStopMonitor(data, kind),
+                            "failstop-monitor");
         break;
       case TaskKind::Sort:
         simulator.spawn(sortCoordinator(data), "sort-coordinator");

@@ -16,8 +16,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "diskos/active_disk_array.hh"
+#include "sim/awaitables.hh"
 #include "sim/simulator.hh"
 #include "tasks/task_result.hh"
 #include "workload/cost_model.hh"
@@ -59,6 +61,35 @@ class AdTaskRunner
     sim::Coro<void> frontendConsumer(sim::Tick per_byte_merge_ref);
     /** @} */
 
+    /** Per-tuple cost and emission ratio of one scan-family task. */
+    struct ScanCosts
+    {
+        sim::Tick perTuple = 0;
+        double emitRatio = 0.0;
+    };
+
+    ScanCosts scanCosts(workload::TaskKind kind,
+                        const workload::DatasetSpec &data) const;
+
+    /** @name Fail-stop degradation (scan family) */
+    /** @{ */
+
+    /**
+     * Waits for the victim disklet to exit; if it died, waits out the
+     * detection latency and re-deals the victim's unprocessed blocks
+     * round-robin to the surviving drives, which read them from the
+     * replica region. Sends the victim's done marker once recovery
+     * completes.
+     */
+    sim::Coro<void> failStopMonitor(const workload::DatasetSpec &data,
+                                    workload::TaskKind kind);
+
+    sim::Coro<void> recoveryWorker(int d,
+                                   std::vector<std::uint64_t> sizes,
+                                   const workload::DatasetSpec &data,
+                                   workload::TaskKind kind);
+    /** @} */
+
     /** @name Per-disk task workers */
     /** @{ */
     sim::Coro<void> scanWorker(int d, const workload::DatasetSpec &data,
@@ -96,6 +127,17 @@ class AdTaskRunner
     TaskResult result;
     int doneMarkers = 0;
     std::uint64_t shuffleRoundRobin = 0;
+
+    // Fail-stop state (stopInj null unless the plan stops a drive in
+    // range). The victim runs a sequential block loop so it can die
+    // at a block boundary; victimExit fires on either exit path.
+    fault::Injector *stopInj = nullptr;
+    int victim = -1;
+    sim::Tick stopAt = 0;
+    sim::Tick stopDetect = 0;
+    bool victimDied = false;
+    std::uint64_t victimBytesDone = 0;
+    sim::Trigger victimExit;
 };
 
 } // namespace howsim::tasks

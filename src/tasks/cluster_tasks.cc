@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "obs/obs.hh"
 #include "sim/awaitables.hh"
 #include "sim/logging.hh"
@@ -58,6 +59,15 @@ ClusterTaskRunner::ClusterTaskRunner(sim::Simulator &s,
                                      workload::CostModel costs)
     : simulator(s), machine(machine_), cm(costs)
 {
+    if (fault::Injector *inj = fault::current()) {
+        const fault::FaultPlan &plan = inj->plan();
+        if (plan.stopConfigured() && plan.stopDisk < machine.size()) {
+            stopInj = inj;
+            victim = plan.stopDisk;
+            stopAt = plan.stopAt;
+            stopDetect = plan.stopDetect;
+        }
+    }
 }
 
 Coro<void>
@@ -114,6 +124,7 @@ Coro<void>
 ClusterTaskRunner::emitToFrontend(int node, std::uint64_t bytes,
                                   std::uint64_t *pending, bool flush)
 {
+    result.outputBytes += bytes;
     *pending += bytes;
     while (*pending >= kBlock) {
         co_await machine.msg().send(
@@ -180,6 +191,42 @@ feDoneMessage()
 
 } // namespace
 
+ClusterTaskRunner::ScanCosts
+ClusterTaskRunner::scanCosts(TaskKind kind,
+                             const DatasetSpec &data) const
+{
+    const int n = machine.size();
+    const std::uint64_t local_bytes = data.inputBytes
+                                      / static_cast<std::uint64_t>(n);
+    ScanCosts c;
+    switch (kind) {
+      case TaskKind::Select:
+        c.perTuple = cm.selectPredicate
+                     + static_cast<Tick>(data.selectivity
+                                         * static_cast<double>(
+                                             cm.selectEmit));
+        c.emitRatio = data.selectivity;
+        break;
+      case TaskKind::Aggregate:
+        c.perTuple = cm.aggregateUpdate;
+        break;
+      case TaskKind::GroupBy: {
+        c.perTuple = cm.groupbyHash;
+        std::uint64_t results = data.distinctGroups * data.tupleBytes;
+        // ~1.5x duplication across devices' partial tables.
+        std::uint64_t emitted = std::min<std::uint64_t>(
+            3 * results / (2 * static_cast<std::uint64_t>(n)),
+            local_bytes);
+        c.emitRatio = static_cast<double>(emitted)
+                      / static_cast<double>(local_bytes);
+        break;
+      }
+      default:
+        panic("scanCosts: unsupported task");
+    }
+    return c;
+}
+
 Coro<void>
 ClusterTaskRunner::scanWorker(int node, const DatasetSpec &data,
                               TaskKind kind)
@@ -188,36 +235,48 @@ ClusterTaskRunner::scanWorker(int node, const DatasetSpec &data,
     const std::uint64_t local_bytes = data.inputBytes
                                       / static_cast<std::uint64_t>(n);
     const std::uint64_t tuple = data.tupleBytes;
-
-    Tick per_tuple = 0;
-    double emit_ratio = 0.0;
-    switch (kind) {
-      case TaskKind::Select:
-        per_tuple = cm.selectPredicate
-                    + static_cast<Tick>(data.selectivity
-                                        * static_cast<double>(
-                                            cm.selectEmit));
-        emit_ratio = data.selectivity;
-        break;
-      case TaskKind::Aggregate:
-        per_tuple = cm.aggregateUpdate;
-        break;
-      case TaskKind::GroupBy: {
-        per_tuple = cm.groupbyHash;
-        std::uint64_t results = data.distinctGroups * tuple;
-        // ~1.5x duplication across devices' partial tables.
-        std::uint64_t emitted = std::min<std::uint64_t>(
-            3 * results / (2 * static_cast<std::uint64_t>(n)),
-            local_bytes);
-        emit_ratio = static_cast<double>(emitted)
-                     / static_cast<double>(local_bytes);
-        break;
-      }
-      default:
-        panic("scanWorker: unsupported task");
-    }
+    const ScanCosts costs = scanCosts(kind, data);
+    const Tick per_tuple = costs.perTuple;
+    const double emit_ratio = costs.emitRatio;
 
     std::uint64_t pending = 0;
+
+    if (stopInj && node == victim) {
+        // Victim path: sequential block loop so the node dies at a
+        // block boundary with its partial result flushed and no done
+        // marker; the monitor re-deals the remainder. See
+        // AdTaskRunner::scanWorker.
+        std::uint64_t off = 0;
+        while (off < local_bytes) {
+            if (simulator.now() >= stopAt) {
+                co_await emitToFrontend(node, 0, &pending, true);
+                ++stopInj->counters().stopDeaths;
+                victimDied = true;
+                victimBytesDone = off;
+                victimExit.fire();
+                co_return;
+            }
+            std::uint64_t sz = std::min<std::uint64_t>(
+                kBlock, local_bytes - off);
+            co_await machine.read(node, off, sz);
+            std::uint64_t tuples = sz / tuple;
+            co_await computeIn(node, "scan.cpu", tuples * per_tuple);
+            if (emit_ratio > 0.0) {
+                auto out = static_cast<std::uint64_t>(
+                    static_cast<double>(sz) * emit_ratio);
+                co_await emitToFrontend(node, out, &pending, false);
+            }
+            off += sz;
+        }
+        co_await emitToFrontend(node, 0, &pending, true);
+        victimDied = false;
+        victimBytesDone = local_bytes;
+        victimExit.fire();
+        co_await machine.msg().send(node, machine.frontendId(),
+                                    feDoneMessage());
+        co_return;
+    }
+
     auto consume = [this, node, tuple, per_tuple, emit_ratio,
                     &pending](std::uint64_t blk) -> Coro<void> {
         std::uint64_t tuples = blk / tuple;
@@ -231,6 +290,81 @@ ClusterTaskRunner::scanWorker(int node, const DatasetSpec &data,
     co_await streamLocal(node, 0, local_bytes, consume);
     co_await emitToFrontend(node, 0, &pending, true);
     co_await machine.msg().send(node, machine.frontendId(),
+                                feDoneMessage());
+}
+
+Coro<void>
+ClusterTaskRunner::recoveryWorker(int node,
+                                  std::vector<std::uint64_t> sizes,
+                                  const DatasetSpec &data,
+                                  TaskKind kind)
+{
+    // Survivors read their share of the victim's partition from the
+    // replica region with the identical per-block arithmetic, so
+    // total emission matches the fault-free run exactly.
+    const ScanCosts costs = scanCosts(kind, data);
+    const std::uint64_t replica = writeRegion(machine);
+    std::uint64_t pending = 0, off = 0;
+    for (std::uint64_t sz : sizes) {
+        co_await machine.read(node, replica + off, sz);
+        std::uint64_t tuples = sz / data.tupleBytes;
+        co_await computeIn(node, "scan.cpu", tuples * costs.perTuple);
+        if (costs.emitRatio > 0.0) {
+            auto out = static_cast<std::uint64_t>(
+                static_cast<double>(sz) * costs.emitRatio);
+            co_await emitToFrontend(node, out, &pending, false);
+        }
+        off += sz;
+        ++stopInj->counters().recoveredBlocks;
+    }
+    co_await emitToFrontend(node, 0, &pending, true);
+}
+
+Coro<void>
+ClusterTaskRunner::failStopMonitor(const DatasetSpec &data,
+                                   TaskKind kind)
+{
+    co_await victimExit.wait();
+    if (!victimDied)
+        co_return;
+    co_await sim::delay(stopDetect);
+    obs::Span span("fault", "degraded", "fault");
+
+    const int n = size();
+    if (n < 2)
+        panic("failStopMonitor: no survivors to absorb node %d",
+              victim);
+    const std::uint64_t local_bytes = data.inputBytes
+                                      / static_cast<std::uint64_t>(n);
+
+    std::vector<std::vector<std::uint64_t>> sizes(
+        static_cast<std::size_t>(n));
+    fault::Counters &ctr = stopInj->counters();
+    int next = (victim + 1) % n;
+    std::uint64_t off = victimBytesDone;
+    while (off < local_bytes) {
+        std::uint64_t sz = std::min<std::uint64_t>(kBlock,
+                                                   local_bytes - off);
+        sizes[static_cast<std::size_t>(next)].push_back(sz);
+        ++ctr.stopRedirects;
+        off += sz;
+        next = (next + 1) % n;
+        if (next == victim)
+            next = (next + 1) % n;
+    }
+
+    std::vector<sim::ProcessRef> workers;
+    for (int node = 0; node < n; ++node) {
+        auto &share = sizes[static_cast<std::size_t>(node)];
+        if (node == victim || share.empty())
+            continue;
+        workers.push_back(simulator.spawn(
+            recoveryWorker(node, std::move(share), data, kind),
+            "recovery-worker"));
+    }
+    co_await sim::joinAll(workers);
+    co_await machine.msg().send((victim + 1) % n,
+                                machine.frontendId(),
                                 feDoneMessage());
 }
 
@@ -812,6 +946,9 @@ ClusterTaskRunner::run(TaskKind kind, const DatasetSpec &data)
         for (int i = 0; i < n; ++i)
             simulator.spawn(scanWorker(i, data, kind), "scan-worker");
         simulator.spawn(frontendConsumer(fe_merge_per_byte), "fe");
+        if (stopInj)
+            simulator.spawn(failStopMonitor(data, kind),
+                            "failstop-monitor");
         break;
       case TaskKind::Sort:
         simulator.spawn(sortCoordinator(data), "sort-coordinator");

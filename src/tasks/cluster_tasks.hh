@@ -17,12 +17,19 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "arch/cluster_machine.hh"
+#include "sim/awaitables.hh"
 #include "sim/simulator.hh"
 #include "tasks/task_result.hh"
 #include "workload/cost_model.hh"
 #include "workload/dataset.hh"
+
+namespace howsim::fault
+{
+class Injector;
+} // namespace howsim::fault
 
 namespace howsim::tasks
 {
@@ -53,6 +60,26 @@ class ClusterTaskRunner
     sim::Coro<void> broadcastDone(int node, int tag);
     sim::Coro<void> frontendConsumer(sim::Tick per_byte_merge_ref);
     sim::Coro<void> shuffleBlock(int node, int *next_dst, int tag);
+
+    /** Per-tuple cost and emission ratio of one scan-family task. */
+    struct ScanCosts
+    {
+        sim::Tick perTuple = 0;
+        double emitRatio = 0.0;
+    };
+
+    ScanCosts scanCosts(workload::TaskKind kind,
+                        const workload::DatasetSpec &data) const;
+
+    /** @name Fail-stop degradation (scan family) */
+    /** @{ */
+    sim::Coro<void> failStopMonitor(const workload::DatasetSpec &data,
+                                    workload::TaskKind kind);
+    sim::Coro<void> recoveryWorker(int node,
+                                   std::vector<std::uint64_t> sizes,
+                                   const workload::DatasetSpec &data,
+                                   workload::TaskKind kind);
+    /** @} */
 
     sim::Coro<void> scanWorker(int node,
                                const workload::DatasetSpec &data,
@@ -93,6 +120,15 @@ class ClusterTaskRunner
     workload::CostModel cm;
     TaskResult result;
     int doneMarkers = 0;
+
+    // Fail-stop state; mirrors AdTaskRunner (see ad_tasks.hh).
+    fault::Injector *stopInj = nullptr;
+    int victim = -1;
+    sim::Tick stopAt = 0;
+    sim::Tick stopDetect = 0;
+    bool victimDied = false;
+    std::uint64_t victimBytesDone = 0;
+    sim::Trigger victimExit;
 };
 
 } // namespace howsim::tasks

@@ -93,6 +93,9 @@ SmpTaskRunner::scanWorker(int p, Queues *qs, const DatasetSpec &data,
         co_await machine.io(machine.allDisks(), off, sz, false);
         std::uint64_t tuples = sz / data.tupleBytes;
         co_await computeIn(p, "scan.cpu", tuples * per_tuple);
+        // Every claimed block contributes to the result regardless
+        // of which drive served it (fail-stop redirects included).
+        result.outputBytes += sz;
         if (remote_hash) {
             // Distributed hash table: updates land on the board
             // owning the key's bucket.

@@ -31,6 +31,14 @@ struct TaskResult
     /** Bytes moved over the machine's shared interconnect. */
     std::uint64_t interconnectBytes = 0;
 
+    /**
+     * Logical result bytes the task produced (emitted to the
+     * front-end or claimed from the shared store). Invariant under
+     * fault injection: a degraded run must deliver exactly the bytes
+     * a fault-free run delivers.
+     */
+    std::uint64_t outputBytes = 0;
+
     double seconds() const { return sim::toSeconds(elapsedTicks); }
 };
 

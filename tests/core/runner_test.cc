@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -92,14 +93,67 @@ TEST(Runner, DefaultJobsHonorsEnvOverride)
     EXPECT_EQ(core::defaultJobs(), 3);
 }
 
-TEST(Runner, DefaultJobsIgnoresGarbageEnv)
+TEST(RunnerDeathTest, DefaultJobsRejectsGarbageEnv)
 {
     JobsEnvGuard guard;
-    howsim::setQuiet(true);
     setenv("HOWSIM_JOBS", "lots", 1);
-    EXPECT_GE(core::defaultJobs(), 1);
+    EXPECT_EXIT(core::defaultJobs(),
+                testing::ExitedWithCode(1), "HOWSIM_JOBS");
     setenv("HOWSIM_JOBS", "0", 1);
-    EXPECT_GE(core::defaultJobs(), 1);
+    EXPECT_EXIT(core::defaultJobs(),
+                testing::ExitedWithCode(1), "positive integer");
     setenv("HOWSIM_JOBS", "-2", 1);
-    EXPECT_GE(core::defaultJobs(), 1);
+    EXPECT_EXIT(core::defaultJobs(),
+                testing::ExitedWithCode(1), "HOWSIM_JOBS");
+}
+
+TEST(Runner, ThrowingExperimentFailsItsSlotWithIdentity)
+{
+    std::vector<ExperimentConfig> configs;
+    for (int scale : {2, 4, 8})
+        configs.push_back(smallConfig(TaskKind::Select, scale));
+
+    // The scale-4 experiment throws; the others must still complete
+    // and the rethrown error must carry the experiment's identity.
+    int ran = 0;
+    auto runOne = [&ran](const ExperimentConfig &config) {
+        ++ran;
+        if (config.scale == 4)
+            throw std::runtime_error("deliberate failure");
+        return core::runExperiment(config);
+    };
+    try {
+        core::runExperiments(configs, runOne, 2);
+        FAIL() << "expected the batch to rethrow";
+    } catch (const std::runtime_error &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("experiment 1"), std::string::npos) << what;
+        EXPECT_NE(what.find("active"), std::string::npos) << what;
+        EXPECT_NE(what.find("select"), std::string::npos) << what;
+        EXPECT_NE(what.find("d4"), std::string::npos) << what;
+        EXPECT_NE(what.find("deliberate failure"), std::string::npos)
+            << what;
+    }
+    EXPECT_EQ(ran, 3);
+}
+
+TEST(Runner, LowestIndexFailureWinsWhenSeveralThrow)
+{
+    std::vector<ExperimentConfig> configs;
+    for (int scale : {2, 4, 8})
+        configs.push_back(smallConfig(TaskKind::Select, scale));
+
+    auto runOne
+        = [](const ExperimentConfig &config) -> tasks::TaskResult {
+        throw std::runtime_error("boom d"
+                                 + std::to_string(config.scale));
+    };
+    try {
+        core::runExperiments(configs, runOne, 3);
+        FAIL() << "expected the batch to rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("boom d2"),
+                  std::string::npos)
+            << e.what();
+    }
 }

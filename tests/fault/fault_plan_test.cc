@@ -1,0 +1,139 @@
+/**
+ * @file FaultPlan spec parsing: the grammar in docs/faults.md, the
+ * defaults, and the fatal() contract on malformed or out-of-range
+ * values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "fault/fault.hh"
+#include "sim/ticks.hh"
+
+using namespace howsim;
+using fault::FaultPlan;
+
+TEST(FaultPlan, EmptySpecIsInactive)
+{
+    FaultPlan plan = FaultPlan::parse("");
+    EXPECT_FALSE(plan.active());
+    EXPECT_FALSE(plan.diskFaultsActive());
+    EXPECT_FALSE(plan.netFaultsActive());
+    EXPECT_FALSE(plan.stopConfigured());
+    EXPECT_EQ(plan.seed, 1u);
+    EXPECT_EQ(plan.diskMediaRetries, 3);
+    EXPECT_EQ(plan.netRetries, 8);
+    EXPECT_EQ(plan.netTimeout, sim::microseconds(1000));
+}
+
+TEST(FaultPlan, FullSpecRoundTrips)
+{
+    FaultPlan plan = FaultPlan::parse(
+        "seed=42,disk.slow.frac=0.25,disk.slow.factor=2.5,"
+        "disk.media.rate=1e-3,disk.media.retries=5,"
+        "disk.remap.rate=1e-4,net.drop.rate=0.01,"
+        "net.corrupt.rate=0.02,net.retries=4,net.timeout.us=500,"
+        "stop.disk=3,stop.at.ms=100,stop.detect.ms=20");
+    EXPECT_EQ(plan.seed, 42u);
+    EXPECT_DOUBLE_EQ(plan.diskSlowFrac, 0.25);
+    EXPECT_DOUBLE_EQ(plan.diskSlowFactor, 2.5);
+    EXPECT_DOUBLE_EQ(plan.diskMediaRate, 1e-3);
+    EXPECT_EQ(plan.diskMediaRetries, 5);
+    EXPECT_DOUBLE_EQ(plan.diskRemapRate, 1e-4);
+    EXPECT_DOUBLE_EQ(plan.netDropRate, 0.01);
+    EXPECT_DOUBLE_EQ(plan.netCorruptRate, 0.02);
+    EXPECT_EQ(plan.netRetries, 4);
+    EXPECT_EQ(plan.netTimeout, sim::microseconds(500));
+    EXPECT_EQ(plan.stopDisk, 3);
+    EXPECT_EQ(plan.stopAt, sim::fromSeconds(0.1));
+    EXPECT_EQ(plan.stopDetect, sim::fromSeconds(0.02));
+    EXPECT_TRUE(plan.active());
+    EXPECT_TRUE(plan.diskFaultsActive());
+    EXPECT_TRUE(plan.netFaultsActive());
+    EXPECT_TRUE(plan.stopConfigured());
+}
+
+TEST(FaultPlan, TrailingAndDoubledCommasAreTolerated)
+{
+    FaultPlan plan = FaultPlan::parse("seed=9,,disk.media.rate=0.5,");
+    EXPECT_EQ(plan.seed, 9u);
+    EXPECT_DOUBLE_EQ(plan.diskMediaRate, 0.5);
+}
+
+TEST(FaultPlan, SeedAloneIsInactive)
+{
+    // "seed=1" configures no fault class, so the plan stays inactive
+    // and a run with it must match an unconfigured run byte-for-byte.
+    EXPECT_FALSE(FaultPlan::parse("seed=1").active());
+}
+
+TEST(FaultPlanDeathTest, UnknownKeyIsFatal)
+{
+    EXPECT_EXIT(FaultPlan::parse("disk.nonsense=1"),
+                testing::ExitedWithCode(1), "disk.nonsense");
+}
+
+TEST(FaultPlanDeathTest, UnknownKeyMessageListsAcceptedKeys)
+{
+    EXPECT_EXIT(FaultPlan::parse("typo=1"),
+                testing::ExitedWithCode(1), "accepted: seed");
+}
+
+TEST(FaultPlanDeathTest, MissingEqualsIsFatal)
+{
+    EXPECT_EXIT(FaultPlan::parse("seed"), testing::ExitedWithCode(1),
+                "key=value");
+}
+
+TEST(FaultPlanDeathTest, NonNumericValueIsFatal)
+{
+    EXPECT_EXIT(FaultPlan::parse("disk.media.rate=lots"),
+                testing::ExitedWithCode(1), "not a number");
+}
+
+TEST(FaultPlanDeathTest, RateAboveOneIsFatal)
+{
+    EXPECT_EXIT(FaultPlan::parse("net.drop.rate=1.5"),
+                testing::ExitedWithCode(1), "probability");
+}
+
+TEST(FaultPlanDeathTest, NegativeRateIsFatal)
+{
+    EXPECT_EXIT(FaultPlan::parse("disk.slow.frac=-0.1"),
+                testing::ExitedWithCode(1), "probability");
+}
+
+TEST(FaultPlanDeathTest, SlowFactorBelowOneIsFatal)
+{
+    EXPECT_EXIT(FaultPlan::parse("disk.slow.factor=0.5"),
+                testing::ExitedWithCode(1), "must be >= 1");
+}
+
+TEST(FaultPlanDeathTest, ZeroRetriesIsFatal)
+{
+    EXPECT_EXIT(FaultPlan::parse("net.retries=0"),
+                testing::ExitedWithCode(1), "net.retries");
+}
+
+TEST(FaultPlanDeathTest, CombinedNetRatesAboveOneIsFatal)
+{
+    EXPECT_EXIT(
+        FaultPlan::parse("net.drop.rate=0.6,net.corrupt.rate=0.6"),
+        testing::ExitedWithCode(1), "exceeds 1");
+}
+
+TEST(FaultPlan, FromEnvReadsHowsimFaults)
+{
+    setenv("HOWSIM_FAULTS", "seed=17,disk.remap.rate=0.125", 1);
+    FaultPlan plan = FaultPlan::fromEnv();
+    unsetenv("HOWSIM_FAULTS");
+    EXPECT_EQ(plan.seed, 17u);
+    EXPECT_DOUBLE_EQ(plan.diskRemapRate, 0.125);
+}
+
+TEST(FaultPlan, FromEnvUnsetYieldsInactivePlan)
+{
+    unsetenv("HOWSIM_FAULTS");
+    EXPECT_FALSE(FaultPlan::fromEnv().active());
+}
