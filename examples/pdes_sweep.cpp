@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Parallel-DES head-to-head: run a Figure-1 slice (select on the
+ * Active Disk array) and a genuinely multi-partition synthetic
+ * workload at HOWSIM_PDES = {1, 2, 4}, reporting wall-clock speedup
+ * over serial, the barrier-stall fraction, and the window/mailbox
+ * counts — and verifying that every setting produced the same
+ * simulated result.
+ *
+ * Two things worth knowing before reading the numbers (docs/perf.md
+ * covers both):
+ *
+ *  - The paper machines register a single coroutine domain, so their
+ *    components co-locate on partition 0: the windowed executive runs
+ *    for real (threads, barriers, one window) but has no work to
+ *    spread. Expect speedup ~1x with a small overhead — that row
+ *    demonstrates bit-identity and bounds the machinery's cost.
+ *
+ *  - The synthetic workload homes independent process groups on every
+ *    partition (Simulator::spawnOn) exchanging mailbox events
+ *    (Simulator::postCross), so it actually fans out — on a
+ *    multi-core host. On a 1-CPU container the threads time-share and
+ *    the stall fraction is the honest cost of pretending otherwise.
+ *
+ * Usage: pdes_sweep [scale]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "sim/awaitables.hh"
+#include "sim/coro.hh"
+#include "sim/partition.hh"
+#include "sim/simulator.hh"
+#include "workload/task_kind.hh"
+
+using namespace howsim;
+
+namespace
+{
+
+double
+wallSeconds(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** One Figure-1 cell (select on the AD array) at a partition count. */
+void
+figureSlice(int scale)
+{
+    std::printf("figure-1 slice: select, active disks, scale %d\n",
+                scale);
+    std::printf("  %5s %12s %9s %9s\n", "pdes", "result", "wall",
+                "speedup");
+    double serialWall = 0;
+    sim::Tick serialResult = 0;
+    for (int pdes : {1, 2, 4}) {
+        if (pdes > scale)
+            continue;
+        core::ExperimentConfig config;
+        config.arch = core::Arch::ActiveDisk;
+        config.task = workload::TaskKind::Select;
+        config.scale = scale;
+        config.pdes = pdes;
+        auto start = std::chrono::steady_clock::now();
+        tasks::TaskResult result = core::runExperiment(config);
+        double wall = wallSeconds(start);
+        if (pdes == 1) {
+            serialWall = wall;
+            serialResult = result.elapsedTicks;
+        } else if (result.elapsedTicks != serialResult) {
+            std::fprintf(stderr,
+                         "BUG: pdes=%d diverged from serial\n", pdes);
+            std::exit(1);
+        }
+        std::printf("  %5d %10.3fs %8.2fs %8.2fx%s\n", pdes,
+                    sim::toSeconds(result.elapsedTicks), wall,
+                    serialWall / wall,
+                    pdes == 1 ? "  (baseline)" : "");
+    }
+    std::printf("  all partition counts produced identical results\n");
+}
+
+/**
+ * The fan-out case: independent event-cascade groups homed one per
+ * partition, exchanging cross-partition pings a full lookahead ahead
+ * — the shape the windowed executive can actually parallelize.
+ */
+void
+syntheticSweep()
+{
+    constexpr sim::Tick lookahead = sim::microseconds(10);
+    constexpr int groups = 4;
+    constexpr int hops = 60000;
+    std::printf("\nsynthetic multi-partition cascade: %d groups x %d "
+                "hops\n", groups, hops);
+    std::printf("  %5s %8s %9s %9s %8s %10s\n", "pdes", "wall",
+                "speedup", "windows", "mailbox", "stall");
+    double serialWall = 0;
+    for (int pdes : {1, 2, 4}) {
+        sim::Simulator simulator(sim::defaultSchedPolicy(), pdes);
+        simulator.setLookahead(lookahead);
+        std::vector<std::uint64_t> delivered(
+            static_cast<std::size_t>(pdes));
+        auto group = [&, pdes](int logical) -> sim::Coro<void> {
+            for (int hop = 0; hop < hops; ++hop) {
+                co_await sim::delay(1 + static_cast<sim::Tick>(
+                                        logical % 3));
+                sim::Simulator &s = *sim::Simulator::current();
+                int target = ((logical + 1) % groups) % pdes;
+                s.postCross(target, s.now() + lookahead,
+                            [&delivered, target] {
+                                ++delivered[static_cast<std::size_t>(
+                                    target)];
+                            });
+            }
+        };
+        std::vector<sim::ProcessRef> procs;
+        for (int logical = 0; logical < groups; ++logical) {
+            procs.push_back(simulator.spawnOn(
+                logical % pdes, group(logical), "cascade"));
+        }
+        auto start = std::chrono::steady_clock::now();
+        simulator.run();
+        double wall = wallSeconds(start);
+        if (pdes == 1)
+            serialWall = wall;
+        std::uint64_t total = 0;
+        for (std::uint64_t d : delivered)
+            total += d;
+        if (total != static_cast<std::uint64_t>(groups) * hops) {
+            std::fprintf(stderr, "BUG: lost mailbox events\n");
+            std::exit(1);
+        }
+        sim::PdesStats stats = simulator.pdesStats();
+        std::printf("  %5d %7.2fs %8.2fx %9llu %8llu %8.1f%%\n", pdes,
+                    wall, serialWall / wall,
+                    static_cast<unsigned long long>(stats.windows),
+                    static_cast<unsigned long long>(
+                        stats.mailboxEvents),
+                    stats.stallFraction() * 100.0);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int scale = argc > 1 ? std::atoi(argv[1]) : 16;
+    if (scale <= 0) {
+        std::fprintf(stderr, "usage: pdes_sweep [scale>0]\n");
+        return 1;
+    }
+    figureSlice(scale);
+    syntheticSweep();
+    return 0;
+}

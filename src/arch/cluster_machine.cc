@@ -81,4 +81,22 @@ ClusterMachine::barrier()
     co_await syncBarrier->arrive();
 }
 
+void
+ClusterMachine::describePartitions(sim::PartitionGraph &graph) const
+{
+    // One coroutine domain: a transport() frame spans sender NIC,
+    // switch stages and receiver NIC, so nodes cannot yet execute on
+    // separate threads.
+    constexpr int domain = 0;
+    int fab = graph.addComponent("cluster.fabric", domain);
+    int fe = graph.addComponent("cluster.frontend", domain);
+    sim::Tick latency = fabric->minMessageLatency();
+    graph.addEdge(fab, fe, latency);
+    for (int n = 0; n < size(); ++n) {
+        int c = graph.addComponent(strprintf("cluster.node%d", n),
+                                   domain);
+        graph.addEdge(c, fab, latency);
+    }
+}
+
 } // namespace howsim::arch

@@ -83,6 +83,15 @@ class ClusterMachine
     /** Usable bytes per node disk. */
     std::uint64_t driveCapacity() const;
 
+    /**
+     * Register this machine's components and interconnect edges with
+     * a partition planner. Nodes, fabric and front-end share one
+     * coroutine domain (a transport() frame spans sender, fabric and
+     * receiver state), so the plan co-locates them; node–fabric edges
+     * carry the fabric's minimum hop latency (DESIGN.md §14).
+     */
+    void describePartitions(sim::PartitionGraph &graph) const;
+
   private:
     struct Node
     {

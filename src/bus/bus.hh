@@ -197,6 +197,14 @@ class Bus
     const BusStats &stats() const { return accumulated; }
 
     /**
+     * Lower bound on the send-to-delivery latency of any transfer:
+     * even a zero-byte booking occupies a channel for the startup
+     * (arbitration) time. Feeds PartitionGraph edges as the PDES
+     * lookahead contribution of this interconnect.
+     */
+    sim::Tick minGrantLatency() const { return busParams.startup; }
+
+    /**
      * Transfers currently waiting for a channel. Frames covered by an
      * installed Reservation are not counted until it settles.
      */

@@ -1,5 +1,6 @@
 #include "core/experiment.hh"
 
+#include <algorithm>
 #include <atomic>
 
 #include "arch/cluster_machine.hh"
@@ -86,6 +87,16 @@ validateConfig(const ExperimentConfig &config,
     }
     if (config.drive.sectorBytes == 0)
         fatal("ExperimentConfig: drive.sectorBytes must be positive");
+    if (config.pdes < 0 || config.pdes > sim::maxPdesPartitions) {
+        fatal("ExperimentConfig: pdes=%d; expected 0 (= HOWSIM_PDES) "
+              "or a partition count between 1 and %d",
+              config.pdes, sim::maxPdesPartitions);
+    }
+    if (config.pdes > config.scale) {
+        fatal("ExperimentConfig: pdes=%d partitions exceed scale=%d "
+              "devices; every partition needs at least one device",
+              config.pdes, config.scale);
+    }
     if (plan.stopConfigured()) {
         if (plan.stopDisk >= config.scale) {
             fatal("fault plan: stop.disk=%d is out of range for "
@@ -131,6 +142,25 @@ publishFaultMetrics(obs::Session *sess, fault::Injector *inj)
     m.counter("fault.stop.recovered_blocks").add(c.recoveredBlocks);
 }
 
+/**
+ * Feed the machine's topology to the partition planner and adopt the
+ * resulting lookahead. Today every machine registers one coroutine
+ * domain, so the plan is a co-location (all components on partition
+ * 0) with no cut edges — the parallel executive runs its windowed
+ * loop but results stay bit-identical to serial (DESIGN.md §14).
+ */
+template <typename Machine>
+void
+planPartitions(sim::Simulator &simulator, const Machine &machine)
+{
+    if (simulator.partitions() <= 1)
+        return;
+    sim::PartitionGraph graph;
+    machine.describePartitions(graph);
+    sim::PartitionGraph::Plan plan = graph.plan(simulator.partitions());
+    simulator.setLookahead(plan.lookahead);
+}
+
 } // namespace
 
 tasks::TaskResult
@@ -149,7 +179,13 @@ runExperiment(const ExperimentConfig &config)
     // Installed after the obs session so the scope can register its
     // fault-class timeline probes; inactive plans install nothing.
     fault::Scope faultScope(plan);
-    sim::Simulator simulator(config.sched);
+    // 0 = the HOWSIM_PDES selection, clamped so a matrix-wide
+    // HOWSIM_PDES never exceeds the experiment's device count.
+    int pdesParts = config.pdes > 0
+                        ? config.pdes
+                        : std::min(sim::defaultPdesPartitions(),
+                                   config.scale);
+    sim::Simulator simulator(config.sched, pdesParts);
     switch (config.arch) {
       case Arch::ActiveDisk: {
         diskos::AdParams params;
@@ -161,6 +197,7 @@ runExperiment(const ExperimentConfig &config)
         params.xfer = config.xfer;
         diskos::ActiveDiskArray machine(simulator, config.scale,
                                         config.drive, params);
+        planPartitions(simulator, machine);
         tasks::AdTaskRunner runner(simulator, machine, config.costs);
         auto result = runner.run(config.task, data);
         publishFaultMetrics(obsSession.get(), faultScope.injector());
@@ -174,6 +211,7 @@ runExperiment(const ExperimentConfig &config)
         params.nodeBus.xfer = config.xfer;
         arch::ClusterMachine machine(simulator, config.scale,
                                      config.drive, params);
+        planPartitions(simulator, machine);
         tasks::ClusterTaskRunner runner(simulator, machine,
                                         config.costs);
         auto result = runner.run(config.task, data);
@@ -189,6 +227,7 @@ runExperiment(const ExperimentConfig &config)
         params.xfer = config.xfer;
         smp::SmpMachine machine(simulator, config.scale, config.scale,
                                 config.drive, params);
+        planPartitions(simulator, machine);
         tasks::SmpTaskRunner runner(simulator, machine, config.costs);
         auto result = runner.run(config.task, data);
         publishFaultMetrics(obsSession.get(), faultScope.injector());

@@ -275,4 +275,23 @@ ActiveDiskArray::barrier()
     co_await syncBarrier->arrive();
 }
 
+void
+ActiveDiskArray::describePartitions(sim::PartitionGraph &graph) const
+{
+    // One coroutine domain: a send() frame walks drive, loop and
+    // front-end state in a single continuation, so no component can
+    // execute on another thread until that path is split into
+    // per-device events.
+    constexpr int domain = 0;
+    int loop = graph.addComponent("ad.fc", domain);
+    int fe = graph.addComponent("ad.frontend", domain);
+    sim::Tick latency = fc->minGrantLatency();
+    graph.addEdge(loop, fe, latency);
+    for (int d = 0; d < size(); ++d) {
+        int c = graph.addComponent(strprintf("ad.drive%d", d),
+                                   domain);
+        graph.addEdge(c, loop, latency);
+    }
+}
+
 } // namespace howsim::diskos

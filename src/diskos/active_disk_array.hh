@@ -144,6 +144,16 @@ class ActiveDiskArray
     /** Usable bytes per drive. */
     std::uint64_t driveCapacity() const;
 
+    /**
+     * Register this machine's components and interconnect edges with
+     * a partition planner. Drives, interconnect and front-end share
+     * one coroutine domain — a send() frame walks drive, loop and
+     * front-end state — so the plan co-locates them; the edges carry
+     * the loop's minimum grant latency for the day the send path is
+     * split into per-device events (DESIGN.md §14).
+     */
+    void describePartitions(sim::PartitionGraph &graph) const;
+
   private:
     struct Drive
     {

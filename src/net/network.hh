@@ -118,6 +118,15 @@ class Network
     /** Total bytes moved across the fabric (loopback excluded). */
     std::uint64_t totalBytes() const { return movedBytes; }
 
+    /**
+     * Lower bound on the delivery latency of any cross-host message:
+     * every non-loopback path crosses at least one switch hop (plus
+     * NIC serialization, not counted here — this is deliberately
+     * conservative). Feeds PartitionGraph edges as the PDES lookahead
+     * contribution of the fabric.
+     */
+    sim::Tick minMessageLatency() const { return netParams.hopLatency; }
+
   private:
     struct Edge
     {

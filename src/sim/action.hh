@@ -26,6 +26,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "sim/arena.hh"
+
 namespace howsim::sim
 {
 
@@ -53,8 +55,17 @@ class InlineAction
             ::new (static_cast<void *>(storage)) D(std::forward<F>(f));
             ops = &inlineOpsFor<D>;
         } else {
-            ::new (static_cast<void *>(storage))(D *)(
-                new D(std::forward<F>(f)));
+            // Oversized captures live in the thread's arena (when
+            // installed) so even the fallback stays off malloc.
+            void *mem = Arena::allocateGlobal(sizeof(D));
+            D *obj;
+            try {
+                obj = ::new (mem) D(std::forward<F>(f));
+            } catch (...) {
+                Arena::release(mem);
+                throw;
+            }
+            ::new (static_cast<void *>(storage))(D *)(obj);
             ops = &heapOpsFor<D>;
         }
     }
@@ -153,7 +164,9 @@ class InlineAction
     static void
     destroyHeap(void *s) noexcept
     {
-        delete *std::launder(static_cast<F **>(s));
+        F *obj = *std::launder(static_cast<F **>(s));
+        obj->~F();
+        Arena::release(obj);
     }
 
     template <typename F>

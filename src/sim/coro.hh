@@ -19,10 +19,12 @@
 #define HOWSIM_SIM_CORO_HH
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <functional>
 #include <utility>
 
+#include "sim/arena.hh"
 #include "sim/logging.hh"
 
 namespace howsim::sim
@@ -37,6 +39,32 @@ namespace detail
 /** State and hooks shared by all Coro promise types. */
 struct PromiseBase
 {
+    /**
+     * Coroutine frames come from the thread's installed Arena (the
+     * owning Simulator's, or the partition's under parallel DES) and
+     * fall back to ::operator new when none is installed. The header
+     * written by the arena makes the delete self-routing, so a frame
+     * may safely outlive the arena handle or be destroyed from a
+     * different thread than allocated it.
+     */
+    static void *
+    operator new(std::size_t bytes)
+    {
+        return Arena::allocateGlobal(bytes);
+    }
+
+    static void
+    operator delete(void *p) noexcept
+    {
+        Arena::release(p);
+    }
+
+    static void
+    operator delete(void *p, std::size_t) noexcept
+    {
+        Arena::release(p);
+    }
+
     /** Coroutine to resume when this one finishes (symmetric xfer). */
     std::coroutine_handle<> continuation;
 

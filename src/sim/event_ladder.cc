@@ -95,13 +95,10 @@ EventLadder::refillBottom()
                 continue;
             }
             bottom.swap(bucket);
-            // A width-1 bucket holds a single tick in seq order —
-            // an ascending array already satisfies the heap
-            // invariant, so only wider buckets need arranging.
-            if (r.widthLog2 != 0) {
-                std::make_heap(bottom.begin(), bottom.end(),
-                               SchedAfter{});
-            }
+            // A width-1 bucket holds a single tick in seq order and
+            // becomes a sorted run outright; wider buckets are
+            // scanned for tick uniformity first (adoptBottom).
+            adoptBottom(r.widthLog2 == 0);
             bottomLimit = bend;
             return;
         }
@@ -121,9 +118,10 @@ EventLadder::spillTop()
         // Sparse tail (e.g. one long-delay process ping-ponging with
         // the clock): skip the rung machinery and drain top
         // directly. swap() keeps both vectors' capacity live, so the
-        // steady state allocates nothing.
+        // steady state allocates nothing. top appends in seq order,
+        // so a single-tick tail qualifies as a sorted run too.
         bottom.swap(top);
-        std::make_heap(bottom.begin(), bottom.end(), SchedAfter{});
+        adoptBottom(false);
         bottomLimit = bucketEndTick(topMax, 0, 0);
         topStart = bottomLimit;
         topMin = maxTick;
@@ -171,11 +169,45 @@ EventLadder::spillTop()
     rungs.push_back(std::move(r));
 }
 
+void
+EventLadder::adoptBottom(bool knownSingleTick)
+{
+    bottomPos = 0;
+    if (knownSingleTick) {
+        bottomSorted = true;
+        return;
+    }
+    // A linear uniformity scan is cheaper than the make_heap + k
+    // sift-downs it replaces whenever it succeeds, and touches the
+    // same cache lines make_heap was about to when it fails.
+    Tick first = bottom.front().when;
+    for (std::size_t i = 1; i < bottom.size(); ++i) {
+        if (bottom[i].when != first) {
+            bottomSorted = false;
+            std::make_heap(bottom.begin(), bottom.end(),
+                           SchedAfter{});
+            return;
+        }
+    }
+    bottomSorted = true;
+}
+
+void
+EventLadder::demoteSortedBottom()
+{
+    bottom.erase(bottom.begin(),
+                 bottom.begin()
+                     + static_cast<std::ptrdiff_t>(bottomPos));
+    bottomPos = 0;
+    bottomSorted = false;
+    std::make_heap(bottom.begin(), bottom.end(), SchedAfter{});
+}
+
 EventLadder::Occupancy
 EventLadder::occupancy() const
 {
     Occupancy occ;
-    occ.bottom = bottom.size();
+    occ.bottom = bottom.size() - bottomPos;
     occ.rungs = rungs.size();
     for (const Rung &r : rungs)
         occ.rungEvents += r.count;

@@ -38,6 +38,18 @@
  * schedules carry the largest seq yet issued; spills and splits
  * iterate their source in order). The heapify into bottom is what
  * establishes tick order within a bucket's width.
+ *
+ * That invariant also powers the batched same-tick drain: when a
+ * promoted bucket holds a single tick (every width-1 bucket, and any
+ * wider bucket or sparse spill that a linear scan finds uniform),
+ * its seq-ascending vector IS the exact drain order, so bottom flips
+ * into "sorted run" mode — pops walk an index instead of sifting a
+ * heap, and events scheduled *at the draining tick* mid-drain (joiner
+ * wakeups, barrier releases, frame trains) append in O(1) because
+ * their sequence numbers are the largest yet issued. A push for any
+ * other tick inside the window demotes the run back into a heap.
+ * Same-tick bursts — the dominant population around barriers and
+ * message fan-outs — thus cost O(1) per event instead of O(log n).
  */
 
 #ifndef HOWSIM_SIM_EVENT_LADDER_HH
@@ -72,6 +84,15 @@ class EventLadder
             return;
         }
         if (entry.when < bottomLimit) {
+            if (bottomSorted) {
+                if (entry.when == bottom[bottomPos].when) {
+                    // Fresh schedules carry the largest seq yet, so
+                    // appending keeps the run's drain order exact.
+                    bottom.push_back(std::move(entry));
+                    return;
+                }
+                demoteSortedBottom();
+            }
             bottom.push_back(std::move(entry));
             std::push_heap(bottom.begin(), bottom.end(), SchedAfter{});
             return;
@@ -90,20 +111,38 @@ class EventLadder
     Tick
     minTick()
     {
+        if (bottomSorted)
+            return bottom[bottomPos].when;
         if (bottom.empty())
             refillBottom();
-        return bottom.front().when;
+        return bottomSorted ? bottom[bottomPos].when
+                            : bottom.front().when;
     }
 
     /** Remove and return the earliest action. @pre !empty(). */
     InlineAction
     pop()
     {
-        if (bottom.empty())
-            refillBottom();
-        std::pop_heap(bottom.begin(), bottom.end(), SchedAfter{});
-        InlineAction action = std::move(bottom.back().action);
-        bottom.pop_back();
+        if (!bottomSorted) {
+            if (bottom.empty())
+                refillBottom();
+            if (!bottomSorted) {
+                std::pop_heap(bottom.begin(), bottom.end(),
+                              SchedAfter{});
+                InlineAction action =
+                    std::move(bottom.back().action);
+                bottom.pop_back();
+                --events;
+                return action;
+            }
+        }
+        // Sorted-run fast path: a plain indexed walk, no sifting.
+        InlineAction action = std::move(bottom[bottomPos].action);
+        if (++bottomPos == bottom.size()) {
+            bottom.clear();
+            bottomPos = 0;
+            bottomSorted = false;
+        }
         --events;
         return action;
     }
@@ -156,7 +195,15 @@ class EventLadder
     void refillBottom();
     void spillTop();
 
+    /** Enter heap or sorted-run mode for a freshly promoted bottom. */
+    void adoptBottom(bool knownSingleTick);
+
+    /** Leave sorted-run mode: drop served entries, heapify the rest. */
+    void demoteSortedBottom();
+
     std::vector<SchedEntry> bottom; //!< min-heap (SchedAfter order)
+    bool bottomSorted = false; //!< bottom is a single-tick seq run
+    std::size_t bottomPos = 0; //!< next run entry when bottomSorted
     Tick bottomLimit = 0; //!< bottom covers [0, bottomLimit)
     std::vector<Rung> rungs; //!< [0] widest … back() being drained
     std::vector<SchedEntry> top;

@@ -1,0 +1,136 @@
+#include "sim/partition.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace howsim::sim
+{
+
+int
+defaultPdesPartitions()
+{
+    const char *env = std::getenv("HOWSIM_PDES");
+    if (!env || *env == '\0')
+        return 1;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < 1 || v > maxPdesPartitions) {
+        fatal("invalid HOWSIM_PDES=\"%s\": expected a partition count "
+              "between 1 (serial) and %d",
+              env, maxPdesPartitions);
+    }
+    return static_cast<int>(v);
+}
+
+int
+PartitionGraph::addComponent(std::string name, int domain)
+{
+    if (domain < 0)
+        panic("PartitionGraph: negative domain %d for component "
+              "\"%s\"",
+              domain, name.c_str());
+    comps.push_back(Component{std::move(name), domain});
+    return static_cast<int>(comps.size()) - 1;
+}
+
+void
+PartitionGraph::addEdge(int a, int b, Tick min_latency)
+{
+    auto check = [&](int c) {
+        if (c < 0 || static_cast<std::size_t>(c) >= comps.size())
+            panic("PartitionGraph: edge endpoint %d out of range "
+                  "(have %zu components)",
+                  c, comps.size());
+    };
+    check(a);
+    check(b);
+    edges.push_back(Edge{a, b, min_latency});
+}
+
+const std::string &
+PartitionGraph::componentName(int c) const
+{
+    if (c < 0 || static_cast<std::size_t>(c) >= comps.size())
+        panic("PartitionGraph: component %d out of range", c);
+    return comps[static_cast<std::size_t>(c)].name;
+}
+
+PartitionGraph::Plan
+PartitionGraph::plan(int nparts) const
+{
+    if (nparts < 1)
+        panic("PartitionGraph: plan() needs a positive partition "
+              "count, got %d",
+              nparts);
+
+    Plan p;
+    p.partitions = nparts;
+    p.partitionOf.resize(comps.size(), 0);
+    if (comps.empty())
+        return p;
+
+    // Densify the caller's domain ids in first-appearance order so
+    // placement is stable regardless of the numeric labels used.
+    std::vector<int> dense; // user domain id, indexed by dense id
+    std::vector<int> denseOf(comps.size());
+    for (std::size_t c = 0; c < comps.size(); ++c) {
+        int dom = comps[c].domain;
+        std::size_t d = 0;
+        while (d < dense.size() && dense[d] != dom)
+            ++d;
+        if (d == dense.size())
+            dense.push_back(dom);
+        denseOf[c] = static_cast<int>(d);
+    }
+
+    // Union-find over dense domains: a zero-latency edge means its
+    // endpoints can observe each other within a tick, so conservative
+    // windowing cannot cut it — merge their domains instead.
+    std::vector<int> parent(dense.size());
+    std::iota(parent.begin(), parent.end(), 0);
+    auto find = [&](int d) {
+        while (parent[d] != d) {
+            parent[d] = parent[parent[d]];
+            d = parent[d];
+        }
+        return d;
+    };
+    for (const Edge &e : edges) {
+        if (e.latency != 0)
+            continue;
+        int ra = find(denseOf[e.a]);
+        int rb = find(denseOf[e.b]);
+        if (ra != rb)
+            parent[std::max(ra, rb)] = std::min(ra, rb);
+    }
+
+    // Number the merged groups in first-appearance order and deal
+    // them round-robin across the partitions.
+    std::vector<int> groupOf(dense.size(), -1);
+    int groups = 0;
+    for (std::size_t d = 0; d < dense.size(); ++d) {
+        int r = find(static_cast<int>(d));
+        if (groupOf[r] < 0)
+            groupOf[r] = groups++;
+        groupOf[d] = groupOf[r];
+    }
+    p.groups = groups;
+    for (std::size_t c = 0; c < comps.size(); ++c)
+        p.partitionOf[c] = groupOf[denseOf[c]] % nparts;
+
+    // The lookahead is the minimum latency over the edges the
+    // placement actually cuts; uncut graphs keep maxTick ("one
+    // window covers everything").
+    for (const Edge &e : edges) {
+        if (p.partitionOf[e.a] == p.partitionOf[e.b])
+            continue;
+        if (e.latency < p.lookahead)
+            p.lookahead = e.latency;
+    }
+    return p;
+}
+
+} // namespace howsim::sim

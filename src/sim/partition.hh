@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Conservative parallel-DES support: partition planning, the
+ * HOWSIM_PDES selection, cross-partition mailbox entries, and the
+ * time-windowed barrier.
+ *
+ * The execution model (implemented by Simulator::run, DESIGN.md §14):
+ * a simulation's device graph is split into partitions, each with its
+ * own event queue, clock, and arena, driven by one worker thread
+ * (partition 0 runs on the calling thread, so thread-local services —
+ * the obs session, the fault injector — keep working unchanged).
+ * Execution proceeds in windows [W, W + lookahead): within a window
+ * every partition drains only its own queue, so threads never touch
+ * each other's state; events for another partition are posted to a
+ * per-source outbox and applied at the window boundary, by the last
+ * thread to arrive at the barrier, in deterministic
+ * (tick, seq, partition) order. The lookahead is the minimum
+ * cross-partition link latency (transfer + overhead ticks from the
+ * cost tables), which is exactly the guarantee that nothing posted
+ * inside a window can be due before the window ends — the classic
+ * conservative synchronization argument.
+ *
+ * Partition planning is topology-driven: machines describe their
+ * components, coroutine-sharing *domains*, and interconnect edges in
+ * a PartitionGraph; plan() co-locates every component of a domain
+ * (components whose coroutine frames or shared state interleave must
+ * execute on one thread), merges domains coupled by zero-latency
+ * edges, and deals the resulting groups round-robin across the
+ * requested partitions. The paper's three machine models currently
+ * register as a single domain — their send paths share coroutine
+ * frames across the device boundary — so they plan onto partition 0
+ * and parallel mode is exercised end-to-end but degenerate; workloads
+ * built from partition-homed processes (Simulator::spawnOn) fan out
+ * for real. Splitting the machines' domains at the Bus/Network edges
+ * is the follow-on this layer was shaped for.
+ */
+
+#ifndef HOWSIM_SIM_PARTITION_HH
+#define HOWSIM_SIM_PARTITION_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/action.hh"
+#include "sim/ticks.hh"
+
+namespace howsim::sim
+{
+
+/**
+ * The partition count selected by HOWSIM_PDES, or 1 (serial) when the
+ * variable is unset or empty. Accepted values are positive integers
+ * up to maxPdesPartitions; anything else fatal()s. Read per call so
+ * tests can switch the environment between simulator constructions.
+ */
+int defaultPdesPartitions();
+
+/** Ceiling on HOWSIM_PDES (sanity bound, far above any host). */
+constexpr int maxPdesPartitions = 256;
+
+/** Aggregate counters of one parallel run; see Simulator::pdesStats. */
+struct PdesStats
+{
+    int partitions = 1;        //!< partitions the run executed with
+    std::uint64_t windows = 0; //!< synchronization windows completed
+    std::uint64_t mailboxEvents = 0; //!< cross-partition events moved
+    std::uint64_t stallNanos = 0;    //!< summed barrier wait time
+    std::uint64_t wallNanos = 0;     //!< wall time inside run()
+    /** Events executed by each partition (size = partitions). */
+    std::vector<std::uint64_t> executedPerPartition;
+
+    /** Fraction of total partition-time spent waiting at barriers. */
+    double
+    stallFraction() const
+    {
+        double denom = static_cast<double>(wallNanos)
+                       * static_cast<double>(partitions);
+        return denom > 0 ? static_cast<double>(stallNanos) / denom
+                         : 0.0;
+    }
+};
+
+/**
+ * A cross-partition event parked in a source partition's outbox until
+ * the window boundary. seq is a per-source-partition counter, so the
+ * merge order (when, seq, srcPart) is deterministic regardless of
+ * thread scheduling.
+ */
+struct CrossEntry
+{
+    Tick when;
+    std::uint64_t seq;
+    int srcPart;
+    int target;
+    InlineAction action;
+};
+
+/** (tick, seq, partition) merge order for mailbox application. */
+inline bool
+crossEntryBefore(const CrossEntry &a, const CrossEntry &b)
+{
+    if (a.when != b.when)
+        return a.when < b.when;
+    if (a.seq != b.seq)
+        return a.seq < b.seq;
+    return a.srcPart < b.srcPart;
+}
+
+/**
+ * Topology description used to place components onto partitions and
+ * derive the lookahead window. See the file comment for the rules.
+ */
+class PartitionGraph
+{
+  public:
+    /**
+     * Register a component (a disk, a host, an interconnect).
+     * Components sharing @p domain are co-located: a domain is the
+     * unit whose coroutine chains and state may interleave without
+     * synchronization. Returns the component id.
+     */
+    int addComponent(std::string name, int domain);
+
+    /**
+     * Declare that components @p a and @p b exchange events with at
+     * least @p min_latency ticks between send and delivery. A
+     * zero-latency edge means the pair cannot be separated and merges
+     * their domains.
+     */
+    void addEdge(int a, int b, Tick min_latency);
+
+    struct Plan
+    {
+        /** Requested partition count. */
+        int partitions = 1;
+        /** Distinct co-location groups (≤ partitions may be used). */
+        int groups = 0;
+        /** Window size: min latency over cut edges; maxTick = none. */
+        Tick lookahead = maxTick;
+        /** Partition of each component, indexed by component id. */
+        std::vector<int> partitionOf;
+    };
+
+    /**
+     * Place domains round-robin across @p nparts partitions and
+     * compute the lookahead from the cut edges. @p nparts must be
+     * positive.
+     */
+    Plan plan(int nparts) const;
+
+    std::size_t componentCount() const { return comps.size(); }
+    const std::string &componentName(int c) const;
+
+  private:
+    struct Component
+    {
+        std::string name;
+        int domain;
+    };
+
+    struct Edge
+    {
+        int a;
+        int b;
+        Tick latency;
+    };
+
+    std::vector<Component> comps;
+    std::vector<Edge> edges;
+};
+
+/**
+ * The window barrier: all partition threads arrive at the end of a
+ * window; the last arriver runs the boundary work (mailbox merge,
+ * next-window computation) exclusively, then everyone proceeds.
+ * Plain mutex + condvar rather than std::barrier so the boundary
+ * callback can differ per window and stall time can be measured.
+ */
+class WindowBarrier
+{
+  public:
+    explicit WindowBarrier(int n) : waiting(0), parties(n) {}
+
+    /**
+     * Arrive and block until every party has arrived. The last
+     * arriver runs @p boundary() while holding the barrier, then
+     * wakes the rest. Returns true on the thread that ran it.
+     */
+    template <typename F>
+    bool
+    arriveAndWait(F &&boundary)
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        if (++waiting == parties) {
+            waiting = 0;
+            boundary();
+            ++generation;
+            cv.notify_all();
+            return true;
+        }
+        std::uint64_t gen = generation;
+        cv.wait(lock, [&] { return generation != gen; });
+        return false;
+    }
+
+  private:
+    std::mutex mutex;
+    std::condition_variable cv;
+    int waiting;
+    int parties;
+    std::uint64_t generation = 0;
+};
+
+} // namespace howsim::sim
+
+#endif // HOWSIM_SIM_PARTITION_HH

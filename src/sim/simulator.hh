@@ -12,8 +12,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/arena.hh"
 #include "sim/coro.hh"
 #include "sim/event_queue.hh"
+#include "sim/partition.hh"
 #include "sim/ticks.hh"
 
 namespace howsim::obs
@@ -35,23 +37,64 @@ using ProcessRef = std::shared_ptr<Process>;
  * thread-local "current simulator" is maintained while run() executes
  * so that awaitables (delays, channels, resources) can reach the
  * event queue without threading a pointer through every call.
+ *
+ * Coroutine frames and oversized action captures are carved from a
+ * per-simulator Arena installed for the constructing thread, so a
+ * simulation's thousands of short-lived frames recycle through
+ * size-class free lists instead of the global heap and are released
+ * wholesale when the simulator dies.
+ *
+ * With more than one partition (the HOWSIM_PDES environment variable,
+ * or the explicit constructor argument) the executive runs
+ * conservative parallel DES: each partition drains its own event
+ * queue and clock on its own thread — partition 0 on the calling
+ * thread — inside synchronization windows sized by the lookahead (the
+ * minimum cross-partition event latency, see PartitionGraph::plan).
+ * Cross-partition events travel through per-source outboxes and are
+ * applied at the window boundary in deterministic
+ * (tick, seq, partition) order, so a parallel run's event order —
+ * and therefore its stats and output — is reproducible, and
+ * bit-identical to serial whenever every event stays in one
+ * partition. Work is homed to a partition with spawnOn(); events
+ * cross partitions with postCross(). See DESIGN.md §14.
  */
 class Simulator
 {
   public:
-    /** Use the HOWSIM_SCHED scheduler policy (default: ladder). */
-    Simulator() : Simulator(defaultSchedPolicy()) {}
+    /** Use the HOWSIM_SCHED policy and HOWSIM_PDES partition count. */
+    Simulator()
+        : Simulator(defaultSchedPolicy(), defaultPdesPartitions())
+    {
+    }
 
-    /** Build the event queue with an explicit scheduler policy. */
-    explicit Simulator(SchedPolicy sched);
+    /** Explicit scheduler policy, HOWSIM_PDES partition count. */
+    explicit Simulator(SchedPolicy sched)
+        : Simulator(sched, defaultPdesPartitions())
+    {
+    }
+
+    /**
+     * Fully explicit: scheduler policy and partition count.
+     * @p pdesPartitions of 1 is the serial executive; more engages
+     * the windowed parallel loop with that many event queues.
+     */
+    Simulator(SchedPolicy sched, int pdesPartitions);
 
     ~Simulator();
 
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
-    /** Current simulated time. */
-    Tick now() const { return currentTick; }
+    /**
+     * Current simulated time. Inside a parallel run this is the
+     * executing partition's clock; partitions only ever observe their
+     * own (windows keep them within lookahead of each other).
+     */
+    Tick
+    now() const
+    {
+        return pdes ? pdesNow() : currentTick;
+    }
 
     /** Schedule an action at an absolute tick (>= now). */
     void scheduleAt(Tick when, EventQueue::Action action);
@@ -86,6 +129,28 @@ class Simulator
     ProcessRef spawnDetached(Coro<void> body, std::string name = "proc");
 
     /**
+     * Start a process homed to @p partition: its events drain on that
+     * partition's thread. Under the serial executive this is spawn().
+     * May be called outside run() or from the target partition
+     * itself; joining a process from another partition is not
+     * supported (the joiner list is unsynchronized by design — use
+     * postCross() handshakes instead).
+     */
+    ProcessRef spawnOn(int partition, Coro<void> body,
+                       std::string name = "proc");
+
+    /**
+     * Schedule @p action on @p partition's queue at absolute tick
+     * @p when. From another partition the event is parked in this
+     * partition's outbox and applied at the next window boundary;
+     * conservative correctness requires @p when to be at least the
+     * end of the current window — at least lookahead() past the
+     * window start — and the boundary panics on a violation. Local
+     * and serial calls are plain scheduleAt().
+     */
+    void postCross(int partition, Tick when, EventQueue::Action action);
+
+    /**
      * Run until the event queue drains or the clock passes @p until.
      * Returns the final simulated time. Rethrows the first exception
      * escaping a process that no joiner observed.
@@ -97,6 +162,26 @@ class Simulator
 
     /** The event queue's scheduler policy. */
     SchedPolicy schedPolicy() const { return queue.policy(); }
+
+    /** Partition count (1 = serial executive). */
+    int partitions() const;
+
+    /** The partition executing on this thread (0 outside run()). */
+    int currentPartition() const;
+
+    /**
+     * Set the synchronization window size for parallel runs, normally
+     * from PartitionGraph::plan().lookahead. maxTick (the default)
+     * means "no cross-partition edges": one window covers the whole
+     * run. Ignored by the serial executive.
+     */
+    void setLookahead(Tick la);
+
+    /** The current lookahead (maxTick under the serial executive). */
+    Tick lookahead() const;
+
+    /** Counters of the parallel runs so far (zeros when serial). */
+    PdesStats pdesStats() const;
 
     /** Number of processes ever spawned. */
     std::size_t processCount() const { return processes.size(); }
@@ -111,16 +196,40 @@ class Simulator
   private:
     friend class Process;
 
+    struct Pdes;
+
     ProcessRef spawnImpl(Coro<void> body, std::string name,
-                         bool detached);
+                         bool detached, int partition);
     void reap(Process *proc);
+
+    Tick pdesNow() const;
+    void pdesSchedule(Tick when, EventQueue::Action action,
+                      bool validate);
+    Tick runParallel(Tick until);
+    void partitionLoop(int part, Tick until);
+    void windowBoundary(Tick until);
 
     Tick currentTick = 0;
     EventQueue queue;
+
+    /**
+     * Frame and action-capture storage for this simulator, installed
+     * as the thread's allocation arena for the simulator's lifetime
+     * (constructor through destructor, restoring the previous arena —
+     * mirroring the current-simulator chain). Frames that outlive the
+     * simulator (held ProcessRefs) stay valid: the arena's control
+     * block is refcounted by its live blocks.
+     */
+    Arena frameArena;
+    ArenaScope arenaScope{&frameArena};
+
     std::unordered_map<Process *, ProcessRef> processes;
     std::vector<std::exception_ptr> detachedErrors;
     std::uint64_t executed = 0;
     Simulator *previous = nullptr;
+
+    /** Parallel-DES state; null under the serial executive. */
+    std::unique_ptr<Pdes> pdes;
 
     /**
      * The thread's observability session captured at construction

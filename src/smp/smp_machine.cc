@@ -176,4 +176,25 @@ SmpMachine::SharedQueue::next()
     co_return idx;
 }
 
+void
+SmpMachine::describePartitions(sim::PartitionGraph &graph) const
+{
+    // One coroutine domain: an io() frame spans CPU, XIO, FC and
+    // drive state, and the shared queues couple the processors.
+    constexpr int domain = 0;
+    int fcComp = graph.addComponent("smp.fc", domain);
+    int xioComp = graph.addComponent("smp.xio", domain);
+    graph.addEdge(xioComp, fcComp, fc->minGrantLatency());
+    for (int b = 0; b < boardCount(); ++b) {
+        int c = graph.addComponent(strprintf("smp.board%d", b),
+                                   domain);
+        graph.addEdge(c, xioComp, xio->minGrantLatency());
+    }
+    for (int d = 0; d < diskCount(); ++d) {
+        int c = graph.addComponent(strprintf("smp.disk%d", d),
+                                   domain);
+        graph.addEdge(c, fcComp, fc->minGrantLatency());
+    }
+}
+
 } // namespace howsim::smp

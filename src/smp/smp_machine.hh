@@ -151,6 +151,15 @@ class SmpMachine
     const bus::Bus &fcBus() const { return *fc; }
     const bus::Bus &xioBus() const { return *xio; }
 
+    /**
+     * Register this machine's components and interconnect edges with
+     * a partition planner. Boards, I/O subsystem and disk farm share
+     * one coroutine domain (an io() frame spans CPU, XIO, FC and
+     * drive state), so the plan co-locates them; edges carry the
+     * buses' minimum grant latencies (DESIGN.md §14).
+     */
+    void describePartitions(sim::PartitionGraph &graph) const;
+
   private:
     friend class SharedQueue;
 

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests for the parallel-DES building blocks: the HOWSIM_PDES
+ * selection, PartitionGraph planning (domain co-location,
+ * zero-latency merges, round-robin placement, lookahead from cut
+ * edges), the deterministic mailbox merge order, and the window
+ * barrier.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/partition.hh"
+#include "sim/ticks.hh"
+
+using namespace howsim::sim;
+
+namespace
+{
+
+/** setenv/unsetenv wrapper that restores the variable on scope exit. */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *name, const char *value) : varName(name)
+    {
+        const char *old = std::getenv(name);
+        if (old)
+            saved = old;
+        had = old != nullptr;
+        if (value)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+
+    ~EnvGuard()
+    {
+        if (had)
+            setenv(varName, saved.c_str(), 1);
+        else
+            unsetenv(varName);
+    }
+
+  private:
+    const char *varName;
+    std::string saved;
+    bool had = false;
+};
+
+TEST(DefaultPdesPartitions, UnsetAndEmptyMeanSerial)
+{
+    {
+        EnvGuard guard("HOWSIM_PDES", nullptr);
+        EXPECT_EQ(defaultPdesPartitions(), 1);
+    }
+    {
+        EnvGuard guard("HOWSIM_PDES", "");
+        EXPECT_EQ(defaultPdesPartitions(), 1);
+    }
+}
+
+TEST(DefaultPdesPartitions, ReadsThePartitionCount)
+{
+    EnvGuard guard("HOWSIM_PDES", "4");
+    EXPECT_EQ(defaultPdesPartitions(), 4);
+}
+
+TEST(DefaultPdesPartitionsDeathTest, RejectsMalformedValues)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    for (const char *bad : {"zero", "2cores", "0", "-1", "1e3", "999"}) {
+        EnvGuard guard("HOWSIM_PDES", bad);
+        EXPECT_EXIT(defaultPdesPartitions(),
+                    testing::ExitedWithCode(1), "invalid HOWSIM_PDES")
+            << "value: " << bad;
+    }
+}
+
+TEST(PartitionGraph, SingleDomainCoLocatesEverything)
+{
+    PartitionGraph g;
+    int a = g.addComponent("fc", 0);
+    int b = g.addComponent("frontend", 0);
+    int c = g.addComponent("drive0", 0);
+    g.addEdge(a, b, microseconds(1));
+    g.addEdge(a, c, microseconds(1));
+    PartitionGraph::Plan plan = g.plan(4);
+    EXPECT_EQ(plan.partitions, 4);
+    EXPECT_EQ(plan.groups, 1);
+    // One group, no cut edges: everything on partition 0, unbounded
+    // lookahead (a single window covers the whole run).
+    EXPECT_EQ(plan.partitionOf,
+              (std::vector<int>{0, 0, 0}));
+    EXPECT_EQ(plan.lookahead, maxTick);
+}
+
+TEST(PartitionGraph, DealsDomainsRoundRobin)
+{
+    PartitionGraph g;
+    for (int d = 0; d < 6; ++d)
+        g.addComponent("comp", d);
+    PartitionGraph::Plan plan = g.plan(2);
+    EXPECT_EQ(plan.groups, 6);
+    EXPECT_EQ(plan.partitionOf,
+              (std::vector<int>{0, 1, 0, 1, 0, 1}));
+}
+
+TEST(PartitionGraph, ZeroLatencyEdgesMergeDomains)
+{
+    PartitionGraph g;
+    int a = g.addComponent("a", 0);
+    int b = g.addComponent("b", 1);
+    int c = g.addComponent("c", 2);
+    // a and b cannot be separated; c is independent.
+    g.addEdge(a, b, 0);
+    PartitionGraph::Plan plan = g.plan(2);
+    EXPECT_EQ(plan.groups, 2);
+    EXPECT_EQ(plan.partitionOf[static_cast<std::size_t>(a)],
+              plan.partitionOf[static_cast<std::size_t>(b)]);
+    EXPECT_NE(plan.partitionOf[static_cast<std::size_t>(a)],
+              plan.partitionOf[static_cast<std::size_t>(c)]);
+}
+
+TEST(PartitionGraph, LookaheadIsTheMinimumCutEdgeLatency)
+{
+    PartitionGraph g;
+    int a = g.addComponent("a", 0);
+    int b = g.addComponent("b", 1);
+    int c = g.addComponent("c", 2);
+    int d = g.addComponent("d", 3);
+    g.addEdge(a, b, microseconds(5));
+    g.addEdge(b, c, microseconds(2));
+    g.addEdge(c, d, microseconds(9));
+    // Round-robin over 2 partitions: {a,c} on 0, {b,d} on 1. All
+    // three edges are cut; the tightest (2 us) bounds the window.
+    PartitionGraph::Plan plan = g.plan(2);
+    EXPECT_EQ(plan.lookahead, microseconds(2));
+}
+
+TEST(PartitionGraph, UncutEdgesDoNotBoundTheWindow)
+{
+    PartitionGraph g;
+    int a = g.addComponent("a", 0);
+    int b = g.addComponent("b", 0);
+    int c = g.addComponent("c", 1);
+    g.addEdge(a, b, 1); // same domain: never cut
+    g.addEdge(a, c, microseconds(7));
+    PartitionGraph::Plan plan = g.plan(2);
+    EXPECT_EQ(plan.lookahead, microseconds(7));
+}
+
+TEST(PartitionGraph, MorePartitionsThanGroupsLeavesTailIdle)
+{
+    PartitionGraph g;
+    g.addComponent("a", 0);
+    g.addComponent("b", 1);
+    PartitionGraph::Plan plan = g.plan(8);
+    EXPECT_EQ(plan.groups, 2);
+    for (int p : plan.partitionOf)
+        EXPECT_LT(p, 2);
+}
+
+TEST(CrossEntryOrder, MergesByTickThenSeqThenPartition)
+{
+    auto entry = [](Tick when, std::uint64_t seq, int src) {
+        CrossEntry e;
+        e.when = when;
+        e.seq = seq;
+        e.srcPart = src;
+        e.target = 0;
+        return e;
+    };
+    std::vector<CrossEntry> entries;
+    entries.push_back(entry(20, 0, 1));
+    entries.push_back(entry(10, 5, 2));
+    entries.push_back(entry(10, 5, 0));
+    entries.push_back(entry(10, 2, 3));
+    std::stable_sort(entries.begin(), entries.end(),
+                     crossEntryBefore);
+    EXPECT_EQ(entries[0].when, 10u);
+    EXPECT_EQ(entries[0].seq, 2u);
+    EXPECT_EQ(entries[1].srcPart, 0);
+    EXPECT_EQ(entries[2].srcPart, 2);
+    EXPECT_EQ(entries[3].when, 20u);
+}
+
+TEST(WindowBarrier, LastArriverRunsTheBoundaryExactlyOnce)
+{
+    constexpr int parties = 4;
+    constexpr int rounds = 50;
+    WindowBarrier barrier(parties);
+    std::atomic<int> boundaryRuns{0};
+    std::atomic<int> boundaryWinners{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < parties; ++t) {
+        threads.emplace_back([&] {
+            for (int r = 0; r < rounds; ++r) {
+                bool ran = barrier.arriveAndWait(
+                    [&] { boundaryRuns.fetch_add(1); });
+                if (ran)
+                    boundaryWinners.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(boundaryRuns.load(), rounds);
+    EXPECT_EQ(boundaryWinners.load(), rounds);
+}
+
+TEST(WindowBarrier, BoundaryResultIsVisibleToAllParties)
+{
+    constexpr int parties = 3;
+    WindowBarrier barrier(parties);
+    int window = 0; // written only by the boundary runner
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < parties; ++t) {
+        threads.emplace_back([&] {
+            for (int r = 0; r < 100; ++r) {
+                barrier.arriveAndWait([&] { window = r + 1; });
+                // The barrier's release ordering must publish the
+                // boundary's writes to every waiter.
+                if (window != r + 1)
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
+} // namespace

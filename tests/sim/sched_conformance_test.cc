@@ -285,6 +285,121 @@ TEST(SchedConformance, OccupancySumsToSize)
     EXPECT_EQ(occ.bottom + occ.rungEvents + occ.top, q.size());
 }
 
+// ---- Batched same-tick drains (the ladder's "sorted run" bottom) ----
+
+// A single-tick bucket promotes into sorted-run mode; appends arriving
+// WHILE the run drains (the simulator's same-tick cascade pattern:
+// a handler resumes a coroutine that schedules another handler at the
+// same tick) must extend the run in FIFO order, not restart or resift.
+TEST(SchedConformance, SameTickAppendsDuringDrainStayFifo)
+{
+    Twins twins;
+    const Tick burst = milliseconds(7);
+    for (int i = 0; i < 200; ++i)
+        twins.schedule(burst);
+    // Enter the drain, then keep feeding the same tick from inside it.
+    for (int i = 0; i < 100; ++i) {
+        twins.popBoth();
+        if (HasFatalFailure())
+            return;
+        twins.schedule(burst);
+        twins.schedule(burst);
+    }
+    twins.drain();
+    twins.expectTracesIdentical();
+    // 200 + 200 appended, all at one tick, ids strictly in schedule
+    // order end to end.
+    ASSERT_EQ(twins.ladderTrace.size(), 400u);
+    for (std::size_t i = 0; i < twins.ladderTrace.size(); ++i) {
+        EXPECT_EQ(twins.ladderTrace[i].first, burst);
+        EXPECT_EQ(twins.ladderTrace[i].second, static_cast<int>(i));
+    }
+}
+
+// A push at a *different* tick that still lands in the bottom range
+// must demote the sorted run back to a heap without losing position:
+// the partially-drained run and the newcomer interleave exactly as
+// the reference heap says.
+TEST(SchedConformance, MixedTickPushDemotesTheSortedRun)
+{
+    Twins twins;
+    const Tick burst = milliseconds(3);
+    for (int i = 0; i < 300; ++i)
+        twins.schedule(burst);
+    for (int i = 0; i < 50; ++i) {
+        twins.popBoth();
+        if (HasFatalFailure())
+            return;
+    }
+    // Same tick (extends the run), later ticks (demote), earlier
+    // future ticks that re-promote fresh single-tick buckets.
+    twins.schedule(burst);
+    for (int i = 1; i <= 40; ++i)
+        twins.schedule(burst + static_cast<Tick>(i));
+    for (int i = 0; i < 40; ++i)
+        twins.schedule(burst + microseconds(2));
+    twins.drain();
+    twins.expectTracesIdentical();
+}
+
+// Differential fuzz biased to same-tick traffic: most schedules reuse
+// the current head tick, so the queue spends the run oscillating
+// between sorted-run mode, demotions and re-promotions.
+TEST(SchedConformance, SameTickHeavyTrafficDrainsIdentically)
+{
+    for (std::uint64_t seed : {2ull, 99ull, 20260809ull}) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        Twins twins;
+        Rng rng(seed);
+        Tick now = 0;
+        for (int op = 0; op < 20000; ++op) {
+            if (twins.heap.empty() || rng.below(8) < 5) {
+                Tick when = now;
+                switch (rng.below(8)) {
+                  case 0:
+                  case 1:
+                  case 2:
+                  case 3:
+                  case 4:
+                    break; // same tick: the common cascade
+                  case 5:
+                    when = now + rng.below(16);
+                    break;
+                  case 6:
+                    when = now + microseconds(3);
+                    break;
+                  default:
+                    when = now + milliseconds(20)
+                           + rng.below(milliseconds(50));
+                }
+                twins.schedule(when);
+            } else {
+                now = twins.heap.nextTick();
+                twins.popBoth();
+                if (HasFatalFailure())
+                    return;
+            }
+        }
+        twins.drain();
+        twins.expectTracesIdentical();
+    }
+}
+
+// Occupancy accounting must hold while bottom is mid-run: the served
+// prefix of the sorted run is no longer counted.
+TEST(SchedConformance, OccupancyTracksThePartiallyDrainedRun)
+{
+    EventQueue q(SchedPolicy::Ladder);
+    const Tick burst = milliseconds(9);
+    for (int i = 0; i < 512; ++i)
+        q.schedule(burst, [] {});
+    for (int i = 0; i < 200; ++i)
+        q.pop()();
+    auto occ = q.ladderOccupancy();
+    EXPECT_EQ(occ.bottom + occ.rungEvents + occ.top, q.size());
+    EXPECT_EQ(q.size(), 312u);
+}
+
 // HOWSIM_SCHED selects the default policy; unset means ladder.
 TEST(SchedConformance, PolicySelectedFromEnvironment)
 {
