@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Traffic-driver microbenchmark: host-time cost of the open-loop
+ * arrival machinery and the admission policies.
+ *
+ * Three families of measurements feed BENCH_events.json:
+ *
+ *  1. Arrival-stream generation — the counter-hash unit draw plus the
+ *     exponential (poisson) gap conversion the driver performs per
+ *     submission, and the weighted mix pick that assigns each query
+ *     its class. Pure arithmetic; these bound how cheap a submission
+ *     can ever be.
+ *
+ *  2. Admission-policy round-trips — enqueue+dequeue pairs through
+ *     the fifo deque and the start-time fair-share scheduler at a
+ *     realistic class count. The fair policy pays a per-class tag
+ *     scan per dequeue; the head-to-head quantifies that premium.
+ *
+ *  3. An end-to-end driver run — a small open-loop plan against the
+ *     active-disk machine, reported as completed queries per
+ *     host-second, so the full submit→admit→execute→retire path has a
+ *     PR-over-PR trajectory.
+ *
+ * With --check[=pct] the binary exits non-zero unless the fair-share
+ * policy sustains at least <pct> percent (default 20) of the fifo
+ * round-trip rate — CI's guard against the admission path growing a
+ * superlinear scan.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/bench_harness.hh"
+#include "core/experiment.hh"
+#include "fault/fault.hh"
+#include "sim/ticks.hh"
+#include "traffic/driver.hh"
+#include "traffic/plan.hh"
+#include "traffic/policy.hh"
+
+using namespace howsim;
+
+namespace
+{
+
+constexpr int kReps = 3;
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * Poisson gap generation at the driver's arrival site: one counter
+ * hash draw plus the -log1p conversion per submission.
+ */
+double
+arrivalDrawsPerSec(std::uint64_t ops)
+{
+    const std::uint64_t site = fault::siteId("traffic.arrival");
+    const double rate = 50.0;
+    sim::Tick sink = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t seq = 0; seq < ops; ++seq) {
+        double u = fault::unitDraw(7, site, seq, 0);
+        sink += sim::fromSeconds(-std::log1p(-u) / rate);
+    }
+    double wall = secondsSince(start);
+    return sink > 0 ? static_cast<double>(ops) / wall : 0.0;
+}
+
+/**
+ * Weighted class pick at the driver's mix site: one draw plus a
+ * cumulative-weight walk over a four-class plan.
+ */
+double
+mixPicksPerSec(std::uint64_t ops)
+{
+    traffic::TrafficPlan plan = traffic::TrafficPlan::parse(
+        "rate=1,duration.ms=1,mix.select=4,mix.groupby=2,"
+        "mix.join=1,mix.sort=1");
+    const std::uint64_t site = fault::siteId("traffic.mix");
+    const double total = plan.totalWeight();
+    std::uint64_t sink = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t seq = 0; seq < ops; ++seq) {
+        double pick = fault::unitDraw(7, site, seq, 0) * total;
+        double cum = 0;
+        int idx = 0;
+        for (std::size_t c = 0; c < plan.classes.size(); ++c) {
+            cum += plan.classes[c].weight;
+            if (pick < cum) {
+                idx = static_cast<int>(c);
+                break;
+            }
+        }
+        sink += static_cast<std::uint64_t>(idx);
+    }
+    double wall = secondsSince(start);
+    return sink < ops * 4 ? static_cast<double>(ops) / wall : 0.0;
+}
+
+/**
+ * Enqueue+dequeue round-trips through an admission policy at steady
+ * depth. The ticket stream cycles through the plan's four classes so
+ * the fair scheduler's per-class state all stays warm.
+ */
+double
+policyOpsPerSec(const char *policyName, std::uint64_t ops)
+{
+    std::string spec = "rate=1,duration.ms=1,policy=";
+    spec += policyName;
+    spec += ",mix.select=4,mix.groupby=2,mix.join=1,mix.sort=1,"
+            "share.select=4,share.groupby=2,share.join=1,share.sort=1";
+    traffic::TrafficPlan plan = traffic::TrafficPlan::parse(spec);
+    auto policy = traffic::TrafficPolicy::make(plan);
+    const int nclasses = static_cast<int>(plan.classes.size());
+    constexpr std::uint64_t kDepth = 16;
+    for (std::uint64_t i = 0; i < kDepth; ++i)
+        policy->enqueue({i, static_cast<int>(i) % nclasses,
+                         static_cast<sim::Tick>(i)});
+    std::uint64_t sink = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t op = 0; op < ops; ++op) {
+        traffic::QueryTicket t = policy->dequeue();
+        sink += t.qid;
+        policy->enqueue({kDepth + op,
+                         static_cast<int>(op) % nclasses,
+                         static_cast<sim::Tick>(op)});
+    }
+    double wall = secondsSince(start);
+    while (!policy->empty())
+        policy->dequeue();
+    return sink > 0 ? static_cast<double>(ops) / wall : 0.0;
+}
+
+/**
+ * End-to-end driver throughput: completed queries per host-second on
+ * a small open-loop plan, active-disk machine at 4 disks.
+ */
+double
+driverQueriesPerSec()
+{
+    core::ExperimentConfig config;
+    config.arch = core::Arch::ActiveDisk;
+    config.scale = 4;
+    config.traffic = "seed=7,rate=200,duration.ms=100,max.inflight=4,"
+                     "mix.select=2,mix.groupby=1,"
+                     "cap.select=0.002,cap.groupby=0.002";
+    auto start = std::chrono::steady_clock::now();
+    traffic::TrafficResult r = traffic::runTraffic(config);
+    double wall = secondsSince(start);
+    return static_cast<double>(r.completed) / wall;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double checkPct = -1.0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0)
+            checkPct = 20.0;
+        else if (std::strncmp(argv[i], "--check=", 8) == 0)
+            checkPct = std::atof(argv[i] + 8);
+    }
+
+    core::BenchHarness harness("micro_traffic");
+
+    constexpr std::uint64_t kDrawOps = 4000000;
+    constexpr std::uint64_t kPolicyOps = 2000000;
+
+    double arrivals = 0, picks = 0, fifo = 0, fair = 0;
+    for (int r = 0; r < kReps; ++r) {
+        arrivals = std::max(arrivals, arrivalDrawsPerSec(kDrawOps));
+        picks = std::max(picks, mixPicksPerSec(kDrawOps));
+        fifo = std::max(fifo, policyOpsPerSec("fifo", kPolicyOps));
+        fair = std::max(fair, policyOpsPerSec("fair", kPolicyOps));
+    }
+    double driver = driverQueriesPerSec();
+    double fairPct = fifo > 0 ? fair / fifo * 100.0 : 0.0;
+
+    std::printf("traffic-driver microbenchmark (host ops/sec)\n");
+    std::printf("  %-34s %12.3g\n", "poisson arrival draws", arrivals);
+    std::printf("  %-34s %12.3g\n", "weighted mix picks", picks);
+    std::printf("  %-34s %12.3g\n", "fifo policy round-trips", fifo);
+    std::printf("  %-34s %12.3g\n", "fair-share policy round-trips",
+                fair);
+    std::printf("  %-34s %11.1f%%\n", "fair-share vs fifo", fairPct);
+    std::printf("  %-34s %12.3g\n", "end-to-end driver queries/sec",
+                driver);
+
+    harness.metric("arrival_draws_per_sec", arrivals);
+    harness.metric("mix_picks_per_sec", picks);
+    harness.metric("fifo_policy_ops_per_sec", fifo);
+    harness.metric("fair_policy_ops_per_sec", fair);
+    harness.metric("fair_vs_fifo_pct", fairPct);
+    harness.metric("driver_queries_per_sec", driver);
+
+    if (checkPct >= 0.0 && fairPct < checkPct) {
+        std::fprintf(stderr,
+                     "FAIL: fair-share policy sustains %.1f%% of the "
+                     "fifo rate, below required %.1f%%\n",
+                     fairPct, checkPct);
+        return 1;
+    }
+    return 0;
+}

@@ -76,9 +76,38 @@ ClusterMachine::write(int node, std::uint64_t offset,
 }
 
 sim::Coro<void>
-ClusterMachine::barrier()
+ClusterMachine::barrier(int stream)
 {
-    co_await syncBarrier->arrive();
+    if (stream == 0) {
+        co_await syncBarrier->arrive();
+        co_return;
+    }
+    auto it = streamBarriers.find(stream);
+    if (it == streamBarriers.end()) {
+        it = streamBarriers
+                 .emplace(stream,
+                          std::make_unique<net::Barrier>(
+                              simulator, size(),
+                              net::Barrier::logCost(
+                                  size(),
+                                  2 * clusterParams.net.hopLatency
+                                      + sim::microseconds(30))))
+                 .first;
+    }
+    co_await it->second->arrive();
+}
+
+void
+ClusterMachine::retireStream(int stream)
+{
+    if (stream <= 0) {
+        panic("ClusterMachine::retireStream: stream %d is not a "
+              "traffic stream",
+              stream);
+    }
+    streamBarriers.erase(stream);
+    msgLayer->retireTagRange(stream * net::kStreamTagStride,
+                             (stream + 1) * net::kStreamTagStride);
 }
 
 void

@@ -12,6 +12,7 @@
 #define HOWSIM_ARCH_CLUSTER_MACHINE_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -75,8 +76,18 @@ class ClusterMachine
     net::MsgLayer &msg() { return *msgLayer; }
     net::Network &network() { return *fabric; }
 
-    /** Barrier over the worker nodes. */
-    sim::Coro<void> barrier();
+    /**
+     * Barrier over the worker nodes. Streams get independent
+     * barriers (identical cost model) so concurrent traffic queries
+     * never gate each other's phase boundaries; 0 is the batch path.
+     */
+    sim::Coro<void> barrier(int stream = 0);
+
+    /**
+     * Drop the per-stream barrier and message-tag band of a
+     * completed traffic query (stream > 0 only).
+     */
+    void retireStream(int stream);
 
     disk::Disk &driveMech(int node);
 
@@ -108,6 +119,9 @@ class ClusterMachine
     std::unique_ptr<net::Network> fabric;
     std::unique_ptr<net::MsgLayer> msgLayer;
     std::unique_ptr<net::Barrier> syncBarrier;
+    // Per-stream barriers for concurrent traffic queries, created on
+    // first use; the batch path (stream 0) never touches this map.
+    std::map<int, std::unique_ptr<net::Barrier>> streamBarriers;
 };
 
 } // namespace howsim::arch

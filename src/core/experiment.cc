@@ -54,11 +54,8 @@ experimentLabel(const ExperimentConfig &config)
                      config.scale);
 }
 
-/**
- * Reject configurations the machine builders would turn into cryptic
- * failures (or worse, silent nonsense). The full table of checks is
- * in DESIGN.md section 13.
- */
+} // namespace
+
 void
 validateConfig(const ExperimentConfig &config,
                const fault::FaultPlan &plan)
@@ -98,6 +95,12 @@ validateConfig(const ExperimentConfig &config,
               config.pdes, config.scale);
     }
     if (plan.stopConfigured()) {
+        if (!config.traffic.empty()) {
+            fatal("fault plan: stop.* fail-stop faults cannot be "
+                  "combined with a traffic plan — fail-stop "
+                  "recovery assumes a single batch query owns the "
+                  "machine");
+        }
         if (plan.stopDisk >= config.scale) {
             fatal("fault plan: stop.disk=%d is out of range for "
                   "scale=%d (victims are numbered [0, scale))",
@@ -119,6 +122,9 @@ validateConfig(const ExperimentConfig &config,
         }
     }
 }
+
+namespace
+{
 
 /** Fold the injector's totals into the session's metrics JSON. */
 void

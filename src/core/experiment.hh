@@ -20,6 +20,11 @@
 #include "workload/dataset.hh"
 #include "workload/task_kind.hh"
 
+namespace howsim::fault
+{
+struct FaultPlan;
+} // namespace howsim::fault
+
 namespace howsim::core
 {
 
@@ -113,7 +118,28 @@ struct ExperimentConfig
      * with the offending value.
      */
     std::string faults;
+
+    /**
+     * Traffic-plan spec for the multi-user driver (see
+     * docs/traffic grammar in DESIGN.md §15, e.g.
+     * "seed=7,rate=20,duration.ms=500,mix.select=1"). Only
+     * traffic::runTraffic consumes it (empty there means "use the
+     * HOWSIM_TRAFFIC environment variable"); the single-query batch
+     * path ignores it apart from validation — a traffic plan is
+     * incompatible with stop.* fail-stop faults, whose recovery
+     * protocol assumes one batch query owns the machine.
+     */
+    std::string traffic;
 };
+
+/**
+ * Reject configurations the machine builders would turn into cryptic
+ * failures (or worse, silent nonsense). fatal()s with the offending
+ * value; the full table of checks is in DESIGN.md section 13. Called
+ * by runExperiment and traffic::runTraffic; exposed for tests.
+ */
+void validateConfig(const ExperimentConfig &config,
+                    const fault::FaultPlan &plan);
 
 /** Build the machine, run the task, and return the timings. */
 tasks::TaskResult runExperiment(const ExperimentConfig &config);

@@ -93,9 +93,64 @@ ActiveDiskArray::diskStats(int d) const
 }
 
 sim::Channel<AdBlock> &
-ActiveDiskArray::inbox(int d)
+ActiveDiskArray::inbox(int d, int stream)
 {
-    return *drives[static_cast<std::size_t>(d)].inbox;
+    if (stream == 0)
+        return *drives[static_cast<std::size_t>(d)].inbox;
+    auto key = std::make_pair(d, stream);
+    auto it = streamInboxes.find(key);
+    if (it == streamInboxes.end()) {
+        it = streamInboxes
+                 .emplace(key, std::make_unique<sim::Channel<AdBlock>>(
+                                   inboxCapacity(adParams)))
+                 .first;
+    }
+    return *it->second;
+}
+
+sim::Channel<AdBlock> &
+ActiveDiskArray::frontendInbox(int stream)
+{
+    if (stream == 0)
+        return *feInbox;
+    auto it = streamFeInboxes.find(stream);
+    if (it == streamFeInboxes.end()) {
+        it = streamFeInboxes
+                 .emplace(stream,
+                          std::make_unique<sim::Channel<AdBlock>>())
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+ActiveDiskArray::retireStream(int stream)
+{
+    if (stream <= 0) {
+        panic("ActiveDiskArray::retireStream: stream %d is not a "
+              "traffic stream",
+              stream);
+    }
+    std::erase_if(streamInboxes, [&](const auto &entry) {
+        if (entry.first.second != stream)
+            return false;
+        if (entry.second->size() != 0) {
+            panic("ActiveDiskArray::retireStream: drive %d inbox on "
+                  "stream %d still holds %zu blocks",
+                  entry.first.first, stream, entry.second->size());
+        }
+        return true;
+    });
+    auto fe = streamFeInboxes.find(stream);
+    if (fe != streamFeInboxes.end()) {
+        if (fe->second->size() != 0) {
+            panic("ActiveDiskArray::retireStream: front-end inbox on "
+                  "stream %d still holds %zu blocks",
+                  stream, fe->second->size());
+        }
+        streamFeInboxes.erase(fe);
+    }
+    streamBarriers.erase(stream);
 }
 
 std::uint64_t
@@ -203,7 +258,7 @@ ActiveDiskArray::relayViaFrontend(int dst, std::uint64_t bytes)
 }
 
 sim::Coro<void>
-ActiveDiskArray::send(int src, int dst, AdBlock block)
+ActiveDiskArray::send(int src, int dst, AdBlock block, int stream)
 {
     if (src < 0 || src >= size() || dst < 0 || dst >= size())
         panic("ActiveDiskArray::send: bad endpoints %d -> %d", src, dst);
@@ -225,12 +280,11 @@ ActiveDiskArray::send(int src, int dst, AdBlock block)
 
     from.stats.bytesSent += bytes;
     drives[static_cast<std::size_t>(dst)].stats.bytesReceived += bytes;
-    co_await drives[static_cast<std::size_t>(dst)].inbox->send(
-        std::move(block));
+    co_await inbox(dst, stream).send(std::move(block));
 }
 
 sim::Coro<void>
-ActiveDiskArray::sendToFrontend(int src, AdBlock block)
+ActiveDiskArray::sendToFrontend(int src, AdBlock block, int stream)
 {
     if (src < 0 || src >= size())
         panic("ActiveDiskArray::sendToFrontend: bad source %d", src);
@@ -249,11 +303,11 @@ ActiveDiskArray::sendToFrontend(int src, AdBlock block)
 
     from.stats.bytesSent += bytes;
     feStats.bytesIngested += bytes;
-    co_await feInbox->send(std::move(block));
+    co_await frontendInbox(stream).send(std::move(block));
 }
 
 sim::Coro<void>
-ActiveDiskArray::frontendSend(int dst, AdBlock block)
+ActiveDiskArray::frontendSend(int dst, AdBlock block, int stream)
 {
     if (dst < 0 || dst >= size())
         panic("ActiveDiskArray::frontendSend: bad destination %d", dst);
@@ -265,14 +319,29 @@ ActiveDiskArray::frontendSend(int dst, AdBlock block)
     else
         co_await fc->transfer(bytes);
     drives[static_cast<std::size_t>(dst)].stats.bytesReceived += bytes;
-    co_await drives[static_cast<std::size_t>(dst)].inbox->send(
-        std::move(block));
+    co_await inbox(dst, stream).send(std::move(block));
 }
 
 sim::Coro<void>
-ActiveDiskArray::barrier()
+ActiveDiskArray::barrier(int stream)
 {
-    co_await syncBarrier->arrive();
+    if (stream == 0) {
+        co_await syncBarrier->arrive();
+        co_return;
+    }
+    auto it = streamBarriers.find(stream);
+    if (it == streamBarriers.end()) {
+        it = streamBarriers
+                 .emplace(stream,
+                          std::make_unique<net::Barrier>(
+                              simulator, size(),
+                              net::Barrier::logCost(
+                                  size(),
+                                  2 * adParams.interconnect().startup
+                                      + sim::microseconds(20))))
+                 .first;
+    }
+    co_await it->second->arrive();
 }
 
 void

@@ -103,30 +103,49 @@ class ActiveDiskArray
     /**
      * Send a block to a peer drive. Waits for a DiskOS stream buffer
      * (flow control) and routes directly or via the front-end per
-     * the configured communication architecture.
+     * the configured communication architecture. @p stream selects
+     * the destination's per-query inbox: 0 (the batch path) is the
+     * drive's preallocated inbox; concurrent traffic queries pass
+     * their own stream id so interleaved queries never consume each
+     * other's blocks (they still share the loop, buffer pools and
+     * CPUs — contention is the point).
      */
-    sim::Coro<void> send(int src, int dst, AdBlock block);
+    sim::Coro<void> send(int src, int dst, AdBlock block,
+                         int stream = 0);
 
     /** Send a block to the front-end host. */
-    sim::Coro<void> sendToFrontend(int src, AdBlock block);
+    sim::Coro<void> sendToFrontend(int src, AdBlock block,
+                                   int stream = 0);
 
     /**
      * Send a block from the front-end host to a drive (candidate
      * broadcasts, control data): front-end copy-out plus an
      * interconnect crossing.
      */
-    sim::Coro<void> frontendSend(int dst, AdBlock block);
+    sim::Coro<void> frontendSend(int dst, AdBlock block,
+                                 int stream = 0);
 
-    /** Inbox of blocks delivered to drive @p d. */
-    sim::Channel<AdBlock> &inbox(int d);
+    /** Inbox of blocks delivered to drive @p d on @p stream. */
+    sim::Channel<AdBlock> &inbox(int d, int stream = 0);
 
-    /** Blocks delivered to the front-end. */
-    sim::Channel<AdBlock> &frontendInbox() { return *feInbox; }
+    /** Blocks delivered to the front-end on @p stream. */
+    sim::Channel<AdBlock> &frontendInbox(int stream = 0);
 
     /** @} */
 
-    /** Barrier over all drives (front-end coordinated). */
-    sim::Coro<void> barrier();
+    /**
+     * Barrier over all drives (front-end coordinated). Streams get
+     * independent barriers (identical cost model) so one query's
+     * phase boundary never gates another's.
+     */
+    sim::Coro<void> barrier(int stream = 0);
+
+    /**
+     * Drop the per-stream channels and barrier of a completed
+     * traffic query (stream > 0 only). Panics if any retired inbox
+     * still holds blocks — that is a protocol bug, not cleanup.
+     */
+    void retireStream(int stream);
 
     /** Underlying drive mechanism (stats, capacity). */
     disk::Disk &drive(int d);
@@ -184,6 +203,17 @@ class ActiveDiskArray
     std::unique_ptr<sim::Channel<AdBlock>> feInbox;
     std::unique_ptr<net::Barrier> syncBarrier;
     FrontendStats feStats;
+
+    // Stream-isolated channels/barriers for concurrent traffic
+    // queries, created on first use. Stream 0 maps to the
+    // preallocated members above, so a batch run never touches
+    // these maps.
+    std::map<std::pair<int, int>,
+             std::unique_ptr<sim::Channel<AdBlock>>>
+        streamInboxes;
+    std::map<int, std::unique_ptr<sim::Channel<AdBlock>>>
+        streamFeInboxes;
+    std::map<int, std::unique_ptr<net::Barrier>> streamBarriers;
 
     // Fault injection (null when the plan has no network faults).
     fault::Injector *faultInj = nullptr;

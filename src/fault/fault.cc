@@ -8,12 +8,6 @@
 namespace howsim::fault
 {
 
-namespace
-{
-
-thread_local Injector *tlsInjector = nullptr;
-
-/** splitmix64 finalizer: the core of every injection decision. */
 std::uint64_t
 mix64(std::uint64_t x)
 {
@@ -23,7 +17,6 @@ mix64(std::uint64_t x)
     return x ^ (x >> 31);
 }
 
-/** Uniform draw in [0, 1) for (seed, site, seq, draw). */
 double
 unitDraw(std::uint64_t seed, std::uint64_t site, std::uint64_t seq,
          std::uint64_t draw)
@@ -32,6 +25,11 @@ unitDraw(std::uint64_t seed, std::uint64_t site, std::uint64_t seq,
                             ^ draw);
     return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
+
+namespace
+{
+
+thread_local Injector *tlsInjector = nullptr;
 
 double
 parseDouble(const std::string &key, const std::string &value)

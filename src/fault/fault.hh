@@ -143,6 +143,17 @@ struct Counters
     std::uint64_t recoveredBlocks = 0;
 };
 
+/** splitmix64 finalizer: the core of every injection decision. */
+std::uint64_t mix64(std::uint64_t x);
+
+/**
+ * Uniform draw in [0, 1) for (seed, site, seq, draw) — the stateless
+ * counter-hash every deterministic decision in the repo shares (fault
+ * injection and the traffic subsystem's arrival/mix/think draws).
+ */
+double unitDraw(std::uint64_t seed, std::uint64_t site,
+                std::uint64_t seq, std::uint64_t draw);
+
 /** Stable site id for a named component (FNV-1a of the name). */
 std::uint64_t siteId(std::string_view name);
 

@@ -148,6 +148,22 @@ MsgLayer::pendingCount(int host, int tag)
     return queueFor(host, tag).size();
 }
 
+void
+MsgLayer::retireTagRange(int tagLo, int tagHi)
+{
+    std::erase_if(queues, [&](const auto &entry) {
+        int tag = entry.first.second;
+        if (tag < tagLo || tag >= tagHi)
+            return false;
+        if (entry.second->size() != 0) {
+            panic("MsgLayer::retireTagRange: queue (host=%d, tag=%d) "
+                  "still holds %zu messages",
+                  entry.first.first, tag, entry.second->size());
+        }
+        return true;
+    });
+}
+
 Barrier::Barrier(sim::Simulator &s, int n, sim::Tick cost)
     : simulator(s), expected(n), completionCost(cost),
       current(std::make_shared<sim::Trigger>())

@@ -38,6 +38,15 @@ class Injector;
 namespace howsim::net
 {
 
+/**
+ * Width of one concurrent-query stream's message-tag band. A task
+ * runner executing as traffic stream s shifts every tag t to
+ * s * kStreamTagStride + t, so concurrent queries demultiplex onto
+ * disjoint (host, tag) queues with no machine-layer changes. The
+ * paper tasks use tags [0, 7); the stride leaves headroom.
+ */
+constexpr int kStreamTagStride = 16;
+
 /** A delivered message. */
 struct Message
 {
@@ -87,6 +96,13 @@ class MsgLayer
 
     /** Messages waiting in (@p host, @p tag)'s queue. */
     std::size_t pendingCount(int host, int tag = 0);
+
+    /**
+     * Drop the (host, tag) queues with tag in [@p tagLo, @p tagHi) —
+     * a completed traffic stream's band. All queues must be drained
+     * (a retired queue holding messages is a protocol bug).
+     */
+    void retireTagRange(int tagLo, int tagHi);
 
     const MsgParams &params() const { return msgParams; }
 

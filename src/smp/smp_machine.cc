@@ -153,9 +153,36 @@ SmpMachine::blockTransfer(int src_cpu, int dst_cpu, std::uint64_t bytes)
 }
 
 sim::Coro<void>
-SmpMachine::barrier()
+SmpMachine::barrier(int stream)
 {
-    co_await syncBarrier->arrive();
+    if (stream == 0) {
+        co_await syncBarrier->arrive();
+        co_return;
+    }
+    auto it = streamBarriers.find(stream);
+    if (it == streamBarriers.end()) {
+        it = streamBarriers
+                 .emplace(stream,
+                          std::make_unique<net::Barrier>(
+                              simulator, cpuCount(),
+                              net::Barrier::logCost(
+                                  cpuCount(),
+                                  2 * smpParams.interconnectLatency
+                                      + sim::microseconds(2))))
+                 .first;
+    }
+    co_await it->second->arrive();
+}
+
+void
+SmpMachine::retireStream(int stream)
+{
+    if (stream <= 0) {
+        panic("SmpMachine::retireStream: stream %d is not a traffic "
+              "stream",
+              stream);
+    }
+    streamBarriers.erase(stream);
 }
 
 SmpMachine::SharedQueue::SharedQueue(SmpMachine &m, std::int64_t total)

@@ -13,6 +13,7 @@
 #define HOWSIM_SMP_SMP_MACHINE_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -122,8 +123,15 @@ class SmpMachine
     sim::Coro<void> blockTransfer(int src_cpu, int dst_cpu,
                                   std::uint64_t bytes);
 
-    /** Global barrier over all processors. */
-    sim::Coro<void> barrier();
+    /**
+     * Global barrier over all processors. Streams get independent
+     * barriers (identical cost model) so concurrent traffic queries
+     * never gate each other's phase boundaries; 0 is the batch path.
+     */
+    sim::Coro<void> barrier(int stream = 0);
+
+    /** Drop a completed traffic query's barrier (stream > 0 only). */
+    void retireStream(int stream);
 
     /**
      * Shared work queue of fixed-size block indices (the paper's
@@ -184,6 +192,9 @@ class SmpMachine
     std::unique_ptr<bus::Bus> fc;
     std::unique_ptr<bus::Bus> xio;
     std::unique_ptr<net::Barrier> syncBarrier;
+    // Per-stream barriers for concurrent traffic queries, created on
+    // first use; the batch path (stream 0) never touches this map.
+    std::map<int, std::unique_ptr<net::Barrier>> streamBarriers;
 
     // Fail-stop of one farm drive: the OS redirects chunks destined
     // for the victim to its mirror (the next drive in the group).

@@ -123,11 +123,11 @@ AdTaskRunner::emitToFrontend(int d, std::uint64_t bytes,
     result.outputBytes += bytes;
     *pending += bytes;
     while (*pending >= kBlock) {
-        co_await machine.sendToFrontend(d, AdBlock{.bytes = kBlock});
+        co_await sendFe(d, AdBlock{.bytes = kBlock});
         *pending -= kBlock;
     }
     if (flush && *pending > 0) {
-        co_await machine.sendToFrontend(d, AdBlock{.bytes = *pending});
+        co_await sendFe(d, AdBlock{.bytes = *pending});
         *pending = 0;
     }
 }
@@ -135,15 +135,14 @@ AdTaskRunner::emitToFrontend(int d, std::uint64_t bytes,
 Coro<void>
 AdTaskRunner::sendDoneMarker(int d)
 {
-    co_await machine.sendToFrontend(d,
-                                    AdBlock{.tag = kDone, .bytes = 64});
+    co_await sendFe(d, AdBlock{.tag = kDone, .bytes = 64});
 }
 
 Coro<void>
 AdTaskRunner::frontendConsumer(Tick per_byte_merge_ref)
 {
     while (doneMarkers < size()) {
-        auto blk = co_await machine.frontendInbox().recv();
+        auto blk = co_await feInbox().recv();
         if (!blk)
             break;
         if (blk->tag == kDone) {
@@ -353,25 +352,25 @@ AdTaskRunner::sortPartitionWorker(int d, const DatasetSpec &data)
             next_dst = (next_dst + 1) % n;
             if (dst == d) {
                 // The local fraction bypasses the interconnect.
-                co_await machine.inbox(d).send(
+                co_await inbox(d).send(
                     AdBlock{.src = d, .bytes = kBlock});
             } else {
-                co_await machine.send(d, dst, AdBlock{.bytes = kBlock});
+                co_await sendPeer(d, dst, AdBlock{.bytes = kBlock});
             }
             acc -= kBlock;
         }
     };
     co_await streamLocal(d, 0, local_bytes, consume);
     if (acc > 0)
-        co_await machine.inbox(d).send(AdBlock{.src = d, .bytes = acc});
+        co_await inbox(d).send(AdBlock{.src = d, .bytes = acc});
     // Signal completion to every collector.
     for (int dst = 0; dst < n; ++dst) {
         if (dst == d) {
-            co_await machine.inbox(d).send(
+            co_await inbox(d).send(
                 AdBlock{.src = d, .tag = kDone, .bytes = 64});
         } else {
-            co_await machine.send(d, dst,
-                                  AdBlock{.tag = kDone, .bytes = 64});
+            co_await sendPeer(d, dst,
+                              AdBlock{.tag = kDone, .bytes = 64});
         }
     }
 }
@@ -383,7 +382,7 @@ AdTaskRunner::sortCollector(int d, const DatasetSpec &data)
     const std::uint64_t local_bytes = data.inputBytes
                                       / static_cast<std::uint64_t>(n);
     auto plan = workload::SortPlan::plan(local_bytes,
-                                         machine.params().memoryBytes,
+                                         adMemory(),
                                          data.tupleBytes);
     std::uint64_t run_acc = 0;
     std::uint64_t write_off = writeRegion(machine);
@@ -410,7 +409,7 @@ AdTaskRunner::sortCollector(int d, const DatasetSpec &data)
     };
 
     while (dones < n) {
-        auto blk = co_await machine.inbox(d).recv();
+        auto blk = co_await inbox(d).recv();
         if (!blk)
             break;
         if (blk->tag == kDone) {
@@ -438,7 +437,7 @@ AdTaskRunner::sortMergeWorker(int d, const DatasetSpec &data)
     const std::uint64_t local_bytes = data.inputBytes
                                       / static_cast<std::uint64_t>(n);
     auto plan = workload::SortPlan::plan(local_bytes,
-                                         machine.params().memoryBytes,
+                                         adMemory(),
                                          data.tupleBytes);
     const std::uint64_t run_base = writeRegion(machine);
     const std::uint64_t out_base = outputRegion(machine);
@@ -498,7 +497,7 @@ AdTaskRunner::shuffleCollector(int d, std::uint64_t expected,
     std::uint64_t write_off = 0;
     (void)expected;
     while (dones < n) {
-        auto blk = co_await machine.inbox(d).recv();
+        auto blk = co_await inbox(d).recv();
         if (!blk)
             break;
         if (blk->tag == kDone) {
@@ -534,7 +533,7 @@ AdTaskRunner::joinWorker(int d, const DatasetSpec &data)
 {
     const int n = size();
     auto plan = workload::JoinPlan::plan(data, n,
-                                         machine.params().memoryBytes);
+                                         adMemory());
     const std::uint64_t local_rel = plan.relationBytes
                                     / static_cast<std::uint64_t>(n);
     const std::uint64_t local_proj = plan.projectedBytes
@@ -569,31 +568,31 @@ AdTaskRunner::joinWorker(int d, const DatasetSpec &data)
                 int dst = st.next;
                 st.next = (st.next + 1) % n;
                 if (dst == d) {
-                    co_await machine.inbox(d).send(
+                    co_await inbox(d).send(
                         AdBlock{.src = d, .bytes = kBlock});
                 } else {
-                    co_await machine.send(d, dst,
-                                          AdBlock{.bytes = kBlock});
+                    co_await sendPeer(d, dst,
+                                      AdBlock{.bytes = kBlock});
                 }
                 st.acc -= kBlock;
             }
         };
         co_await streamLocal(d, src_base, local_rel, consume);
         if (st.acc > 0) {
-            co_await machine.inbox(d).send(
+            co_await inbox(d).send(
                 AdBlock{.src = d, .bytes = st.acc});
         }
         for (int dst = 0; dst < n; ++dst) {
             if (dst == d) {
-                co_await machine.inbox(d).send(
+                co_await inbox(d).send(
                     AdBlock{.src = d, .tag = kDone, .bytes = 64});
             } else {
-                co_await machine.send(
+                co_await sendPeer(
                     d, dst, AdBlock{.tag = kDone, .bytes = 64});
             }
         }
         co_await collector->join();
-        co_await machine.barrier();
+        co_await barrier();
     }
 
     // Phase 3: per-partition build/probe and result write-back.
@@ -636,7 +635,7 @@ AdTaskRunner::dcubeWorker(int d, const DatasetSpec &data)
     const std::uint64_t local_tuples = data.tupleCount
                                        / static_cast<std::uint64_t>(n);
     auto plan = workload::DatacubePlan::plan(
-        machine.params().memoryBytes * static_cast<std::uint64_t>(n));
+        adMemory() * static_cast<std::uint64_t>(n));
     const auto &lattice = workload::DatacubePlan::lattice();
     std::uint64_t write_off = writeRegion(machine);
 
@@ -701,7 +700,7 @@ AdTaskRunner::dcubeWorker(int d, const DatasetSpec &data)
             }
             write_off += share;
         }
-        co_await machine.barrier();
+        co_await barrier();
     }
 
     // Client-facing summary aggregates to the front-end (~200 MB).
@@ -730,11 +729,11 @@ AdTaskRunner::dmineWorker(int d, const DatasetSpec &data)
                 * cm.dmineItemCount);
     };
     co_await streamLocal(d, 0, local_bytes, pass1);
-    co_await machine.sendToFrontend(
+    co_await sendFe(
         d, AdBlock{.bytes = plan.counterBytesPerDevice});
 
     // Wait for the frequent-item candidates from the front-end.
-    auto cand = co_await machine.inbox(d).recv();
+    auto cand = co_await inbox(d).recv();
     if (!cand || cand->tag != kCandidates)
         panic("dmine: expected candidate broadcast");
 
@@ -744,7 +743,7 @@ AdTaskRunner::dmineWorker(int d, const DatasetSpec &data)
         co_await computeIn(d, "scan.cpu", txns * cm.dmineSubsetCheck);
     };
     co_await streamLocal(d, 0, local_bytes, pass2);
-    co_await machine.sendToFrontend(
+    co_await sendFe(
         d, AdBlock{.bytes = plan.counterBytesPerDevice});
     co_await sendDoneMarker(d);
 }
@@ -783,31 +782,31 @@ AdTaskRunner::mviewWorker(int d, const DatasetSpec &data)
                 int dst = st.next;
                 st.next = (st.next + 1) % n;
                 if (dst == d) {
-                    co_await machine.inbox(d).send(
+                    co_await inbox(d).send(
                         AdBlock{.src = d, .bytes = kBlock});
                 } else {
-                    co_await machine.send(d, dst,
-                                          AdBlock{.bytes = kBlock});
+                    co_await sendPeer(d, dst,
+                                      AdBlock{.bytes = kBlock});
                 }
                 st.acc -= kBlock;
             }
         };
         co_await streamLocal(d, 0, local_delta, consume);
         if (st.acc > 0) {
-            co_await machine.inbox(d).send(
+            co_await inbox(d).send(
                 AdBlock{.src = d, .bytes = st.acc});
         }
         for (int dst = 0; dst < n; ++dst) {
             if (dst == d) {
-                co_await machine.inbox(d).send(
+                co_await inbox(d).send(
                     AdBlock{.src = d, .tag = kDone, .bytes = 64});
             } else {
-                co_await machine.send(
+                co_await sendPeer(
                     d, dst, AdBlock{.tag = kDone, .bytes = 64});
             }
         }
         co_await collector->join();
-        co_await machine.barrier();
+        co_await barrier();
     }
 
     // Phase 2: scan the base data, shipping matching rows to the
@@ -832,31 +831,31 @@ AdTaskRunner::mviewWorker(int d, const DatasetSpec &data)
                 int dst = st.next;
                 st.next = (st.next + 1) % n;
                 if (dst == d) {
-                    co_await machine.inbox(d).send(
+                    co_await inbox(d).send(
                         AdBlock{.src = d, .bytes = kBlock});
                 } else {
-                    co_await machine.send(d, dst,
-                                          AdBlock{.bytes = kBlock});
+                    co_await sendPeer(d, dst,
+                                      AdBlock{.bytes = kBlock});
                 }
                 st.acc -= kBlock;
             }
         };
         co_await streamLocal(d, local_delta, local_base, consume);
         if (st.acc > 0) {
-            co_await machine.inbox(d).send(
+            co_await inbox(d).send(
                 AdBlock{.src = d, .bytes = st.acc});
         }
         for (int dst = 0; dst < n; ++dst) {
             if (dst == d) {
-                co_await machine.inbox(d).send(
+                co_await inbox(d).send(
                     AdBlock{.src = d, .tag = kDone, .bytes = 64});
             } else {
-                co_await machine.send(
+                co_await sendPeer(
                     d, dst, AdBlock{.tag = kDone, .bytes = 64});
             }
         }
         co_await collector->join();
-        co_await machine.barrier();
+        co_await barrier();
     }
 
     // Phase 3: rewrite the derived relations with the updates
@@ -924,29 +923,28 @@ AdTaskRunner::dmineFrontend(const DatasetSpec &data)
     const int n = size();
     auto plan = workload::DminePlan::plan(data);
     for (int i = 0; i < n; ++i)
-        co_await machine.frontendInbox().recv();
+        co_await feInbox().recv();
     for (int d = 0; d < n; ++d) {
-        co_await machine.frontendSend(
+        co_await feSend(
             d, AdBlock{.tag = kCandidates,
                        .bytes = plan.candidateBroadcastBytes});
     }
     int seen = 0;
     while (seen < 2 * n) {
-        auto blk = co_await machine.frontendInbox().recv();
+        auto blk = co_await feInbox().recv();
         if (!blk)
             break;
         ++seen;
     }
 }
 
-TaskResult
-AdTaskRunner::run(TaskKind kind, const DatasetSpec &data)
+std::vector<sim::ProcessRef>
+AdTaskRunner::launch(TaskKind kind, const DatasetSpec &data)
 {
     result = TaskResult{};
     doneMarkers = 0;
     const int n = size();
-    Tick start = simulator.now();
-    obs::Span taskSpan("task", workload::taskName(kind), "task");
+    std::vector<sim::ProcessRef> procs;
 
     Tick fe_merge_per_byte = 0;
     if (kind == TaskKind::GroupBy) {
@@ -958,42 +956,77 @@ AdTaskRunner::run(TaskKind kind, const DatasetSpec &data)
       case TaskKind::Select:
       case TaskKind::Aggregate:
       case TaskKind::GroupBy:
-        for (int d = 0; d < n; ++d)
-            simulator.spawn(scanWorker(d, data, kind), "scan-worker");
-        simulator.spawn(frontendConsumer(fe_merge_per_byte), "fe");
-        if (stopInj)
-            simulator.spawn(failStopMonitor(data, kind),
-                            "failstop-monitor");
+        for (int d = 0; d < n; ++d) {
+            procs.push_back(simulator.spawn(scanWorker(d, data, kind),
+                                            "scan-worker"));
+        }
+        procs.push_back(
+            simulator.spawn(frontendConsumer(fe_merge_per_byte),
+                            "fe"));
+        if (stopInj) {
+            procs.push_back(simulator.spawn(failStopMonitor(data,
+                                                            kind),
+                                            "failstop-monitor"));
+        }
         break;
       case TaskKind::Sort:
-        simulator.spawn(sortCoordinator(data), "sort-coordinator");
+        procs.push_back(simulator.spawn(sortCoordinator(data),
+                                        "sort-coordinator"));
         break;
       case TaskKind::Join:
-        for (int d = 0; d < n; ++d)
-            simulator.spawn(joinWorker(d, data), "join-worker");
-        simulator.spawn(frontendConsumer(0), "fe");
+        for (int d = 0; d < n; ++d) {
+            procs.push_back(simulator.spawn(joinWorker(d, data),
+                                            "join-worker"));
+        }
+        procs.push_back(simulator.spawn(frontendConsumer(0), "fe"));
         break;
       case TaskKind::Datacube:
-        for (int d = 0; d < n; ++d)
-            simulator.spawn(dcubeWorker(d, data), "dcube-worker");
-        simulator.spawn(frontendConsumer(0), "fe");
+        for (int d = 0; d < n; ++d) {
+            procs.push_back(simulator.spawn(dcubeWorker(d, data),
+                                            "dcube-worker"));
+        }
+        procs.push_back(simulator.spawn(frontendConsumer(0), "fe"));
         break;
       case TaskKind::Dmine:
-        for (int d = 0; d < n; ++d)
-            simulator.spawn(dmineWorker(d, data), "dmine-worker");
-        simulator.spawn(dmineFrontend(data), "dmine-fe");
+        for (int d = 0; d < n; ++d) {
+            procs.push_back(simulator.spawn(dmineWorker(d, data),
+                                            "dmine-worker"));
+        }
+        procs.push_back(simulator.spawn(dmineFrontend(data),
+                                        "dmine-fe"));
         break;
       case TaskKind::Mview:
-        for (int d = 0; d < n; ++d)
-            simulator.spawn(mviewWorker(d, data), "mview-worker");
-        simulator.spawn(frontendConsumer(0), "fe");
+        for (int d = 0; d < n; ++d) {
+            procs.push_back(simulator.spawn(mviewWorker(d, data),
+                                            "mview-worker"));
+        }
+        procs.push_back(simulator.spawn(frontendConsumer(0), "fe"));
         break;
     }
+    return procs;
+}
 
+TaskResult
+AdTaskRunner::run(TaskKind kind, const DatasetSpec &data)
+{
+    Tick start = simulator.now();
+    obs::Span taskSpan("task", workload::taskName(kind), "task");
+    launch(kind, data);
     simulator.run();
     result.elapsedTicks = simulator.now() - start;
     result.interconnectBytes = machine.interconnect().stats().bytes;
     return result;
+}
+
+Coro<void>
+AdTaskRunner::runConcurrent(TaskKind kind, const DatasetSpec &data)
+{
+    Tick start = simulator.now();
+    auto procs = launch(kind, data);
+    co_await sim::joinAll(std::move(procs));
+    result.elapsedTicks = simulator.now() - start;
+    // The loop is shared across in-flight queries; bytes stay on the
+    // machine-wide counter rather than being mis-attributed here.
 }
 
 } // namespace howsim::tasks

@@ -44,6 +44,32 @@ class AdTaskRunner
     TaskResult run(workload::TaskKind kind,
                    const workload::DatasetSpec &data);
 
+    /**
+     * Re-entrant variant for the traffic driver: spawns the same
+     * disklets and joins them without draining the simulator, so
+     * several runner instances can execute concurrently on one
+     * machine. Each instance must carry a distinct stream id (set
+     * @ref setStream before the first call); timing lands in
+     * @ref lastResult. interconnectBytes stays 0 — the loop is
+     * shared, so per-query attribution is meaningless.
+     */
+    sim::Coro<void> runConcurrent(workload::TaskKind kind,
+                                  const workload::DatasetSpec &data);
+
+    /** Stream id isolating this instance's channels and barriers. */
+    void setStream(int s) { stream = s; }
+
+    /**
+     * Fraction of the per-drive memory this instance plans with
+     * (working-set accounting under concurrency; default 1.0).
+     */
+    void setMemoryShare(double f) { memShare = f; }
+
+    const TaskResult &lastResult() const { return result; }
+
+    /** Drop this instance's per-stream machine state after a query. */
+    void retireStream() { machine.retireStream(stream); }
+
   private:
     using BlockFn = std::function<sim::Coro<void>(std::uint64_t)>;
 
@@ -119,6 +145,54 @@ class AdTaskRunner
     sim::Coro<void> computeIn(int d, const char *bucket,
                               sim::Tick ref_ticks);
 
+    /** Spawn the disklet set for @p kind; shared by run paths. */
+    std::vector<sim::ProcessRef>
+    launch(workload::TaskKind kind, const workload::DatasetSpec &data);
+
+    /** @name Stream-routed machine shims */
+    /** @{ */
+    sim::Coro<void>
+    sendPeer(int src, int dst, diskos::AdBlock b)
+    {
+        return machine.send(src, dst, std::move(b), stream);
+    }
+
+    sim::Coro<void>
+    sendFe(int src, diskos::AdBlock b)
+    {
+        return machine.sendToFrontend(src, std::move(b), stream);
+    }
+
+    sim::Coro<void>
+    feSend(int dst, diskos::AdBlock b)
+    {
+        return machine.frontendSend(dst, std::move(b), stream);
+    }
+
+    sim::Channel<diskos::AdBlock> &
+    inbox(int d)
+    {
+        return machine.inbox(d, stream);
+    }
+
+    sim::Channel<diskos::AdBlock> &
+    feInbox()
+    {
+        return machine.frontendInbox(stream);
+    }
+
+    sim::Coro<void> barrier() { return machine.barrier(stream); }
+
+    /** This instance's share of the per-drive disklet memory. */
+    std::uint64_t
+    adMemory() const
+    {
+        return static_cast<std::uint64_t>(
+            memShare
+            * static_cast<double>(machine.params().memoryBytes));
+    }
+    /** @} */
+
     int size() const { return machine.size(); }
 
     sim::Simulator &simulator;
@@ -127,6 +201,8 @@ class AdTaskRunner
     TaskResult result;
     int doneMarkers = 0;
     std::uint64_t shuffleRoundRobin = 0;
+    int stream = 0;
+    double memShare = 1.0;
 
     // Fail-stop state (stopInj null unless the plan stops a drive in
     // range). The victim runs a sequential block loop so it can die

@@ -127,13 +127,13 @@ ClusterTaskRunner::emitToFrontend(int node, std::uint64_t bytes,
     result.outputBytes += bytes;
     *pending += bytes;
     while (*pending >= kBlock) {
-        co_await machine.msg().send(
+        co_await msgSend(
             node, machine.frontendId(),
             Message{.tag = kToFrontend, .bytes = kBlock});
         *pending -= kBlock;
     }
     if (flush && *pending > 0) {
-        co_await machine.msg().send(
+        co_await msgSend(
             node, machine.frontendId(),
             Message{.tag = kToFrontend, .bytes = *pending});
         *pending = 0;
@@ -147,7 +147,7 @@ ClusterTaskRunner::sendDone(int node, int dst, int tag)
     m.tag = tag;
     m.bytes = 64;
     m.payload = true; // completion marker
-    co_await machine.msg().send(node, dst, std::move(m));
+    co_await msgSend(node, dst, std::move(m));
 }
 
 Coro<void>
@@ -163,7 +163,7 @@ ClusterTaskRunner::frontendConsumer(Tick per_byte_merge_ref)
     int fe = machine.frontendId();
     int dones = 0;
     while (dones < size()) {
-        Message m = co_await machine.msg().recv(fe, kToFrontend);
+        Message m = co_await msgRecv(fe, kToFrontend);
         if (m.bytes == 64 && m.payload.has_value()) {
             ++dones;
             continue;
@@ -272,8 +272,8 @@ ClusterTaskRunner::scanWorker(int node, const DatasetSpec &data,
         victimDied = false;
         victimBytesDone = local_bytes;
         victimExit.fire();
-        co_await machine.msg().send(node, machine.frontendId(),
-                                    feDoneMessage());
+        co_await msgSend(node, machine.frontendId(),
+                         feDoneMessage());
         co_return;
     }
 
@@ -289,8 +289,8 @@ ClusterTaskRunner::scanWorker(int node, const DatasetSpec &data,
     };
     co_await streamLocal(node, 0, local_bytes, consume);
     co_await emitToFrontend(node, 0, &pending, true);
-    co_await machine.msg().send(node, machine.frontendId(),
-                                feDoneMessage());
+    co_await msgSend(node, machine.frontendId(),
+                     feDoneMessage());
 }
 
 Coro<void>
@@ -363,9 +363,9 @@ ClusterTaskRunner::failStopMonitor(const DatasetSpec &data,
             "recovery-worker"));
     }
     co_await sim::joinAll(workers);
-    co_await machine.msg().send((victim + 1) % n,
-                                machine.frontendId(),
-                                feDoneMessage());
+    co_await msgSend((victim + 1) % n,
+                     machine.frontendId(),
+                     feDoneMessage());
 }
 
 Coro<void>
@@ -373,8 +373,8 @@ ClusterTaskRunner::shuffleBlock(int node, int *next_dst, int tag)
 {
     int dst = *next_dst;
     *next_dst = (*next_dst + 1) % size();
-    co_await machine.msg().send(node, dst,
-                                Message{.tag = tag, .bytes = kBlock});
+    co_await msgSend(node, dst,
+                     Message{.tag = tag, .bytes = kBlock});
 }
 
 Coro<void>
@@ -398,8 +398,8 @@ ClusterTaskRunner::sortPartitionWorker(int node, const DatasetSpec &data)
     };
     co_await streamLocal(node, 0, local_bytes, consume);
     if (acc > 0) {
-        co_await machine.msg().send(node, node,
-                                    Message{.tag = kData, .bytes = acc});
+        co_await msgSend(node, node,
+                         Message{.tag = kData, .bytes = acc});
     }
     co_await broadcastDone(node, kData);
 }
@@ -411,7 +411,7 @@ ClusterTaskRunner::sortCollector(int node, const DatasetSpec &data)
     const std::uint64_t local_bytes = data.inputBytes
                                       / static_cast<std::uint64_t>(n);
     auto plan = workload::SortPlan::plan(
-        local_bytes, machine.params().usableMemoryBytes,
+        local_bytes, usableMemory(),
         data.tupleBytes);
     std::uint64_t run_acc = 0;
     std::uint64_t write_off = writeRegion(machine);
@@ -436,7 +436,7 @@ ClusterTaskRunner::sortCollector(int node, const DatasetSpec &data)
     };
 
     while (dones < n) {
-        Message m = co_await machine.msg().recv(node, kData);
+        Message m = co_await msgRecv(node, kData);
         if (m.payload.has_value()) {
             ++dones;
             continue;
@@ -462,7 +462,7 @@ ClusterTaskRunner::sortMergeWorker(int node, const DatasetSpec &data)
     const std::uint64_t local_bytes = data.inputBytes
                                       / static_cast<std::uint64_t>(n);
     auto plan = workload::SortPlan::plan(
-        local_bytes, machine.params().usableMemoryBytes,
+        local_bytes, usableMemory(),
         data.tupleBytes);
     const std::uint64_t run_base = writeRegion(machine);
     const std::uint64_t out_base = outputRegion(machine);
@@ -517,7 +517,7 @@ ClusterTaskRunner::shuffleCollector(int node, int tag,
     int dones = 0;
     std::uint64_t write_off = 0;
     while (dones < n) {
-        Message m = co_await machine.msg().recv(node, tag);
+        Message m = co_await msgRecv(node, tag);
         if (m.payload.has_value()) {
             ++dones;
             continue;
@@ -540,7 +540,7 @@ ClusterTaskRunner::joinWorker(int node, const DatasetSpec &data)
 {
     const int n = size();
     auto plan = workload::JoinPlan::plan(
-        data, n, machine.params().usableMemoryBytes);
+        data, n, usableMemory());
     const std::uint64_t local_rel = plan.relationBytes
                                     / static_cast<std::uint64_t>(n);
     const std::uint64_t local_proj = plan.projectedBytes
@@ -578,12 +578,12 @@ ClusterTaskRunner::joinWorker(int node, const DatasetSpec &data)
         };
         co_await streamLocal(node, src_base, local_rel, consume);
         if (acc > 0) {
-            co_await machine.msg().send(
+            co_await msgSend(
                 node, node, Message{.tag = tag, .bytes = acc});
         }
         co_await broadcastDone(node, tag);
         co_await collector->join();
-        co_await machine.barrier();
+        co_await barrier();
     }
 
     const std::uint64_t parts = plan.partitionsPerDevice;
@@ -614,8 +614,8 @@ ClusterTaskRunner::joinWorker(int node, const DatasetSpec &data)
     }
     if (out_acc > 0)
         co_await machine.write(node, out_base + out_off, out_acc);
-    co_await machine.msg().send(node, machine.frontendId(),
-                                feDoneMessage());
+    co_await msgSend(node, machine.frontendId(),
+                     feDoneMessage());
 }
 
 Coro<void>
@@ -627,7 +627,7 @@ ClusterTaskRunner::dcubeWorker(int node, const DatasetSpec &data)
     const std::uint64_t local_tuples = data.tupleCount
                                        / static_cast<std::uint64_t>(n);
     auto plan = workload::DatacubePlan::plan(
-        machine.params().usableMemoryBytes
+        usableMemory()
         * static_cast<std::uint64_t>(n));
     const auto &lattice = workload::DatacubePlan::lattice();
     std::uint64_t write_off = writeRegion(machine);
@@ -690,15 +690,15 @@ ClusterTaskRunner::dcubeWorker(int node, const DatasetSpec &data)
             }
             write_off += share;
         }
-        co_await machine.barrier();
+        co_await barrier();
     }
 
     std::uint64_t pending = 0;
     co_await emitToFrontend(
         node, (200ull << 20) / static_cast<std::uint64_t>(n), &pending,
         true);
-    co_await machine.msg().send(node, machine.frontendId(),
-                                feDoneMessage());
+    co_await msgSend(node, machine.frontendId(),
+                     feDoneMessage());
 }
 
 Coro<void>
@@ -711,19 +711,19 @@ ClusterTaskRunner::reduceToFrontend(int node, std::uint64_t bytes,
     const int n = size();
     for (int stride = 1; stride < n; stride *= 2) {
         if (node & stride) {
-            co_await machine.msg().send(
+            co_await msgSend(
                 node, node - stride, Message{.tag = tag, .bytes = bytes});
             co_return;
         }
         if (node + stride < n) {
-            co_await machine.msg().recv(node, tag);
+            co_await msgRecv(node, tag);
             // Merge the peer's counters into ours.
             co_await computeIn(node, "reduce.cpu", bytes * 3 / 1000);
         }
     }
-    co_await machine.msg().send(node, machine.frontendId(),
-                                Message{.tag = kToFrontend,
-                                        .bytes = bytes});
+    co_await msgSend(node, machine.frontendId(),
+                     Message{.tag = kToFrontend,
+                             .bytes = bytes});
 }
 
 Coro<void>
@@ -732,10 +732,10 @@ ClusterTaskRunner::broadcastFromFrontend(int node, std::uint64_t bytes)
     // Binomial broadcast rooted at node 0 (which hears from the
     // front-end directly).
     const int n = size();
-    co_await machine.msg().recv(node, kCandidates);
+    co_await msgRecv(node, kCandidates);
     for (int stride = 1; stride < n; stride *= 2) {
         if (node < stride && node + stride < n) {
-            co_await machine.msg().send(
+            co_await msgSend(
                 node, node + stride,
                 Message{.tag = kCandidates, .bytes = bytes});
         }
@@ -771,8 +771,8 @@ ClusterTaskRunner::dmineWorker(int node, const DatasetSpec &data)
     co_await streamLocal(node, 0, local_bytes, pass2);
     co_await reduceToFrontend(node, plan.counterBytesPerDevice,
                               kReducePass2);
-    co_await machine.msg().send(node, machine.frontendId(),
-                                feDoneMessage());
+    co_await msgSend(node, machine.frontendId(),
+                     feDoneMessage());
 }
 
 Coro<void>
@@ -811,12 +811,12 @@ ClusterTaskRunner::mviewWorker(int node, const DatasetSpec &data)
         };
         co_await streamLocal(node, 0, local_delta, consume);
         if (acc > 0) {
-            co_await machine.msg().send(
+            co_await msgSend(
                 node, node, Message{.tag = kData, .bytes = acc});
         }
         co_await broadcastDone(node, kData);
         co_await collector->join();
-        co_await machine.barrier();
+        co_await barrier();
     }
 
     // Phase 2: scan base data; ship matching rows to view owners.
@@ -843,12 +843,12 @@ ClusterTaskRunner::mviewWorker(int node, const DatasetSpec &data)
         };
         co_await streamLocal(node, local_delta, local_base, consume);
         if (acc > 0) {
-            co_await machine.msg().send(
+            co_await msgSend(
                 node, node, Message{.tag = kDataPhase2, .bytes = acc});
         }
         co_await broadcastDone(node, kDataPhase2);
         co_await collector->join();
-        co_await machine.barrier();
+        co_await barrier();
     }
 
     // Phase 3: rewrite the derived relations.
@@ -867,8 +867,8 @@ ClusterTaskRunner::mviewWorker(int node, const DatasetSpec &data)
     }
     co_await computeIn(node, "p3.apply",
                        apply_tuples * cm.mviewDeltaApply);
-    co_await machine.msg().send(node, machine.frontendId(),
-                                feDoneMessage());
+    co_await msgSend(node, machine.frontendId(),
+                     feDoneMessage());
 }
 
 Coro<void>
@@ -912,28 +912,36 @@ ClusterTaskRunner::dmineFrontend(const DatasetSpec &data)
     auto plan = workload::DminePlan::plan(data);
     int id = machine.frontendId();
     // Reduced pass-1 counters arrive from node 0 alone.
-    co_await machine.msg().recv(id, kToFrontend);
-    co_await machine.msg().send(
+    co_await msgRecv(id, kToFrontend);
+    co_await msgSend(
         id, 0,
         Message{.tag = kCandidates,
                 .bytes = plan.candidateBroadcastBytes});
     // Reduced pass-2 counters, then per-node completion.
-    co_await machine.msg().recv(id, kToFrontend);
+    co_await msgRecv(id, kToFrontend);
     int seen = 0;
     while (seen < n) {
-        co_await machine.msg().recv(id, kToFrontend);
+        co_await msgRecv(id, kToFrontend);
         ++seen;
     }
 }
 
-TaskResult
-ClusterTaskRunner::run(TaskKind kind, const DatasetSpec &data)
+Coro<Message>
+ClusterTaskRunner::msgRecv(int host, int tag)
+{
+    Message m = co_await machine.msg().recv(
+        host, stream * net::kStreamTagStride + tag);
+    m.tag -= stream * net::kStreamTagStride;
+    co_return m;
+}
+
+std::vector<sim::ProcessRef>
+ClusterTaskRunner::launch(TaskKind kind, const DatasetSpec &data)
 {
     result = TaskResult{};
     doneMarkers = 0;
     const int n = size();
-    Tick start = simulator.now();
-    obs::Span taskSpan("task", workload::taskName(kind), "task");
+    std::vector<sim::ProcessRef> procs;
 
     Tick fe_merge_per_byte = 0;
     if (kind == TaskKind::GroupBy)
@@ -943,42 +951,77 @@ ClusterTaskRunner::run(TaskKind kind, const DatasetSpec &data)
       case TaskKind::Select:
       case TaskKind::Aggregate:
       case TaskKind::GroupBy:
-        for (int i = 0; i < n; ++i)
-            simulator.spawn(scanWorker(i, data, kind), "scan-worker");
-        simulator.spawn(frontendConsumer(fe_merge_per_byte), "fe");
-        if (stopInj)
-            simulator.spawn(failStopMonitor(data, kind),
-                            "failstop-monitor");
+        for (int i = 0; i < n; ++i) {
+            procs.push_back(simulator.spawn(scanWorker(i, data, kind),
+                                            "scan-worker"));
+        }
+        procs.push_back(
+            simulator.spawn(frontendConsumer(fe_merge_per_byte),
+                            "fe"));
+        if (stopInj) {
+            procs.push_back(simulator.spawn(failStopMonitor(data,
+                                                            kind),
+                                            "failstop-monitor"));
+        }
         break;
       case TaskKind::Sort:
-        simulator.spawn(sortCoordinator(data), "sort-coordinator");
+        procs.push_back(simulator.spawn(sortCoordinator(data),
+                                        "sort-coordinator"));
         break;
       case TaskKind::Join:
-        for (int i = 0; i < n; ++i)
-            simulator.spawn(joinWorker(i, data), "join-worker");
-        simulator.spawn(frontendConsumer(0), "fe");
+        for (int i = 0; i < n; ++i) {
+            procs.push_back(simulator.spawn(joinWorker(i, data),
+                                            "join-worker"));
+        }
+        procs.push_back(simulator.spawn(frontendConsumer(0), "fe"));
         break;
       case TaskKind::Datacube:
-        for (int i = 0; i < n; ++i)
-            simulator.spawn(dcubeWorker(i, data), "dcube-worker");
-        simulator.spawn(frontendConsumer(0), "fe");
+        for (int i = 0; i < n; ++i) {
+            procs.push_back(simulator.spawn(dcubeWorker(i, data),
+                                            "dcube-worker"));
+        }
+        procs.push_back(simulator.spawn(frontendConsumer(0), "fe"));
         break;
       case TaskKind::Dmine:
-        for (int i = 0; i < n; ++i)
-            simulator.spawn(dmineWorker(i, data), "dmine-worker");
-        simulator.spawn(dmineFrontend(data), "dmine-fe");
+        for (int i = 0; i < n; ++i) {
+            procs.push_back(simulator.spawn(dmineWorker(i, data),
+                                            "dmine-worker"));
+        }
+        procs.push_back(simulator.spawn(dmineFrontend(data),
+                                        "dmine-fe"));
         break;
       case TaskKind::Mview:
-        for (int i = 0; i < n; ++i)
-            simulator.spawn(mviewWorker(i, data), "mview-worker");
-        simulator.spawn(frontendConsumer(0), "fe");
+        for (int i = 0; i < n; ++i) {
+            procs.push_back(simulator.spawn(mviewWorker(i, data),
+                                            "mview-worker"));
+        }
+        procs.push_back(simulator.spawn(frontendConsumer(0), "fe"));
         break;
     }
+    return procs;
+}
 
+TaskResult
+ClusterTaskRunner::run(TaskKind kind, const DatasetSpec &data)
+{
+    Tick start = simulator.now();
+    obs::Span taskSpan("task", workload::taskName(kind), "task");
+    launch(kind, data);
     simulator.run();
     result.elapsedTicks = simulator.now() - start;
     result.interconnectBytes = machine.network().totalBytes();
     return result;
+}
+
+Coro<void>
+ClusterTaskRunner::runConcurrent(TaskKind kind, const DatasetSpec &data)
+{
+    Tick start = simulator.now();
+    auto procs = launch(kind, data);
+    co_await sim::joinAll(std::move(procs));
+    result.elapsedTicks = simulator.now() - start;
+    // The fabric is shared across in-flight queries; bytes stay on
+    // the machine-wide counter rather than being mis-attributed here.
 }
 
 } // namespace howsim::tasks

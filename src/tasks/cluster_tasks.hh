@@ -46,6 +46,33 @@ class ClusterTaskRunner
     TaskResult run(workload::TaskKind kind,
                    const workload::DatasetSpec &data);
 
+    /**
+     * Re-entrant variant for the traffic driver: spawns the same
+     * workers and joins them without draining the simulator, so
+     * several runner instances can execute concurrently on one
+     * machine. Each instance must carry a distinct stream id (set
+     * @ref setStream before the first call); message tags shift into
+     * the stream's band so interleaved queries never consume each
+     * other's messages. Timing lands in @ref lastResult;
+     * interconnectBytes stays 0 (the fabric is shared).
+     */
+    sim::Coro<void> runConcurrent(workload::TaskKind kind,
+                                  const workload::DatasetSpec &data);
+
+    /** Stream id isolating this instance's tags and barriers. */
+    void setStream(int s) { stream = s; }
+
+    /**
+     * Fraction of the per-node memory this instance plans with
+     * (working-set accounting under concurrency; default 1.0).
+     */
+    void setMemoryShare(double f) { memShare = f; }
+
+    const TaskResult &lastResult() const { return result; }
+
+    /** Drop this instance's per-stream machine state after a query. */
+    void retireStream() { machine.retireStream(stream); }
+
   private:
     using BlockFn = std::function<sim::Coro<void>(std::uint64_t)>;
 
@@ -113,6 +140,41 @@ class ClusterTaskRunner
     sim::Coro<void> computeIn(int node, const char *bucket,
                               sim::Tick ref_ticks);
 
+    /** Spawn the worker set for @p kind; shared by run paths. */
+    std::vector<sim::ProcessRef>
+    launch(workload::TaskKind kind, const workload::DatasetSpec &data);
+
+    /** @name Stream-banded message shims */
+    /** @{ */
+    sim::Coro<void>
+    msgSend(int src, int dst, net::Message m)
+    {
+        m.tag += stream * net::kStreamTagStride;
+        return machine.msg().send(src, dst, std::move(m));
+    }
+
+    sim::ProcessRef
+    msgPost(int src, int dst, net::Message m)
+    {
+        m.tag += stream * net::kStreamTagStride;
+        return machine.msg().postSend(src, dst, std::move(m));
+    }
+
+    sim::Coro<net::Message> msgRecv(int host, int tag = 0);
+
+    sim::Coro<void> barrier() { return machine.barrier(stream); }
+
+    /** This instance's share of the per-node user memory. */
+    std::uint64_t
+    usableMemory() const
+    {
+        return static_cast<std::uint64_t>(
+            memShare
+            * static_cast<double>(
+                machine.params().usableMemoryBytes));
+    }
+    /** @} */
+
     int size() const { return machine.size(); }
 
     sim::Simulator &simulator;
@@ -120,6 +182,8 @@ class ClusterTaskRunner
     workload::CostModel cm;
     TaskResult result;
     int doneMarkers = 0;
+    int stream = 0;
+    double memShare = 1.0;
 
     // Fail-stop state; mirrors AdTaskRunner (see ad_tasks.hh).
     fault::Injector *stopInj = nullptr;

@@ -103,7 +103,7 @@ SmpTaskRunner::scanWorker(int p, Queues *qs, const DatasetSpec &data,
             co_await machine.blockTransfer(p, dst, sz);
         }
     }
-    co_await machine.barrier();
+    co_await barrier();
 }
 
 Coro<void>
@@ -118,7 +118,7 @@ SmpTaskRunner::sortWorker(int p, Queues *qs, const DatasetSpec &data)
         write_group = read_group;
 
     const std::uint64_t mem_per_proc
-        = machine.params().totalMemory(n) / static_cast<std::uint64_t>(n);
+        = totalMemory(n) / static_cast<std::uint64_t>(n);
     const std::uint64_t my_share = data.inputBytes
                                    / static_cast<std::uint64_t>(n);
     auto plan = workload::SortPlan::plan(my_share, mem_per_proc,
@@ -166,7 +166,7 @@ SmpTaskRunner::sortWorker(int p, Queues *qs, const DatasetSpec &data)
         written += run_acc;
         run_acc = 0;
     }
-    co_await machine.barrier();
+    co_await barrier();
 
     // Phase 2: merge this processor's runs back onto the read group.
     const std::uint64_t runs = std::max<std::uint64_t>(
@@ -185,7 +185,7 @@ SmpTaskRunner::sortWorker(int p, Queues *qs, const DatasetSpec &data)
         pos += sz;
         remaining -= sz;
     }
-    co_await machine.barrier();
+    co_await barrier();
 }
 
 Coro<void>
@@ -194,7 +194,7 @@ SmpTaskRunner::joinWorker(int p, Queues *qs, const DatasetSpec &data)
     const int n = cpus();
     auto plan = workload::JoinPlan::plan(
         data, n,
-        machine.params().totalMemory(n) / static_cast<std::uint64_t>(n));
+        totalMemory(n) / static_cast<std::uint64_t>(n));
     const int half_disks = std::max(machine.diskCount() / 2, 1);
     DiskGroup read_group{0, half_disks};
     DiskGroup write_group{half_disks,
@@ -248,7 +248,7 @@ SmpTaskRunner::joinWorker(int p, Queues *qs, const DatasetSpec &data)
             co_await machine.io(write_group, part_base + out_off,
                                 out_acc, true);
         }
-        co_await machine.barrier();
+        co_await barrier();
     }
 
     // Phase 3: read both projected partitions, build/probe, write
@@ -279,15 +279,14 @@ SmpTaskRunner::joinWorker(int p, Queues *qs, const DatasetSpec &data)
             off += sz;
         }
     }
-    co_await machine.barrier();
+    co_await barrier();
 }
 
 Coro<void>
 SmpTaskRunner::dcubeWorker(int p, Queues *qs, const DatasetSpec &data)
 {
     const int n = cpus();
-    auto plan = workload::DatacubePlan::plan(
-        machine.params().totalMemory(n), true);
+    auto plan = workload::DatacubePlan::plan(totalMemory(n), true);
     const auto &lattice = workload::DatacubePlan::lattice();
     // With every table resident in shared memory (single scan) the
     // results need not be spilled to disk.
@@ -342,7 +341,7 @@ SmpTaskRunner::dcubeWorker(int p, Queues *qs, const DatasetSpec &data)
             }
             write_base += share_total * static_cast<std::uint64_t>(n);
         }
-        co_await machine.barrier();
+        co_await barrier();
     }
 }
 
@@ -368,7 +367,7 @@ SmpTaskRunner::dmineWorker(int p, Queues *qs, const DatasetSpec &data)
                 : cm.dmineSubsetCheck;
             co_await computeIn(p, "scan.cpu", txns * per_txn);
         }
-        co_await machine.barrier();
+        co_await barrier();
     }
 }
 
@@ -394,7 +393,7 @@ SmpTaskRunner::mviewWorker(int p, Queues *qs, const DatasetSpec &data)
         co_await machine.blockTransfer(p, static_cast<int>(idx) % n,
                                        sz);
     }
-    co_await machine.barrier();
+    co_await barrier();
 
     // Phase 2: base scan with semi-join movement.
     auto *qb = (*qs)[1].get();
@@ -416,7 +415,7 @@ SmpTaskRunner::mviewWorker(int p, Queues *qs, const DatasetSpec &data)
         co_await machine.blockTransfer(p, static_cast<int>(idx) % n,
                                        moved);
     }
-    co_await machine.barrier();
+    co_await barrier();
 
     // Phase 3: rewrite the derived relations.
     auto *qm = (*qs)[2].get();
@@ -439,20 +438,19 @@ SmpTaskRunner::mviewWorker(int p, Queues *qs, const DatasetSpec &data)
                             true);
     }
     co_await computeIn(p, "p3.apply", apply_share * cm.mviewDeltaApply);
-    co_await machine.barrier();
+    co_await barrier();
 }
 
-TaskResult
-SmpTaskRunner::run(TaskKind kind, const DatasetSpec &data)
+std::vector<sim::ProcessRef>
+SmpTaskRunner::launch(TaskKind kind, const DatasetSpec &data,
+                      Queues *qs)
 {
     result = TaskResult{};
     const int n = cpus();
-    Tick start = simulator.now();
-    obs::Span taskSpan("task", workload::taskName(kind), "task");
+    std::vector<sim::ProcessRef> procs;
 
-    Queues queues;
     auto add_queue = [&](std::uint64_t total_bytes) {
-        queues.push_back(std::make_unique<smp::SmpMachine::SharedQueue>(
+        qs->push_back(std::make_unique<smp::SmpMachine::SharedQueue>(
             machine,
             static_cast<std::int64_t>(blocksOf(total_bytes))));
     };
@@ -462,59 +460,90 @@ SmpTaskRunner::run(TaskKind kind, const DatasetSpec &data)
       case TaskKind::Aggregate:
       case TaskKind::GroupBy:
         add_queue(data.inputBytes);
-        for (int p = 0; p < n; ++p)
-            simulator.spawn(scanWorker(p, &queues, data, kind),
-                            "smp-scan");
+        for (int p = 0; p < n; ++p) {
+            procs.push_back(
+                simulator.spawn(scanWorker(p, qs, data, kind),
+                                "smp-scan"));
+        }
         break;
       case TaskKind::Sort:
         add_queue(data.inputBytes);
-        for (int p = 0; p < n; ++p)
-            simulator.spawn(sortWorker(p, &queues, data), "smp-sort");
+        for (int p = 0; p < n; ++p) {
+            procs.push_back(simulator.spawn(sortWorker(p, qs, data),
+                                            "smp-sort"));
+        }
         break;
       case TaskKind::Join: {
         auto plan = workload::JoinPlan::plan(
             data, n,
-            machine.params().totalMemory(n)
-                / static_cast<std::uint64_t>(n));
+            totalMemory(n) / static_cast<std::uint64_t>(n));
         add_queue(plan.relationBytes);
         add_queue(plan.relationBytes);
-        for (int p = 0; p < n; ++p)
-            simulator.spawn(joinWorker(p, &queues, data), "smp-join");
+        for (int p = 0; p < n; ++p) {
+            procs.push_back(simulator.spawn(joinWorker(p, qs, data),
+                                            "smp-join"));
+        }
         break;
       }
       case TaskKind::Datacube: {
-        auto plan = workload::DatacubePlan::plan(
-            machine.params().totalMemory(n), true);
+        auto plan = workload::DatacubePlan::plan(totalMemory(n),
+                                                 true);
         for (std::size_t s = 0; s < plan.scans.size(); ++s)
             add_queue(data.inputBytes);
-        for (int p = 0; p < n; ++p)
-            simulator.spawn(dcubeWorker(p, &queues, data),
-                            "smp-dcube");
+        for (int p = 0; p < n; ++p) {
+            procs.push_back(simulator.spawn(dcubeWorker(p, qs, data),
+                                            "smp-dcube"));
+        }
         break;
       }
       case TaskKind::Dmine:
         add_queue(data.inputBytes);
         add_queue(data.inputBytes);
-        for (int p = 0; p < n; ++p)
-            simulator.spawn(dmineWorker(p, &queues, data),
-                            "smp-dmine");
+        for (int p = 0; p < n; ++p) {
+            procs.push_back(simulator.spawn(dmineWorker(p, qs, data),
+                                            "smp-dmine"));
+        }
         break;
       case TaskKind::Mview: {
         auto plan = workload::MviewPlan::plan(data);
         add_queue(plan.deltaBytes);
         add_queue(plan.baseScanBytes);
         add_queue(plan.derivedBytes);
-        for (int p = 0; p < n; ++p)
-            simulator.spawn(mviewWorker(p, &queues, data),
-                            "smp-mview");
+        for (int p = 0; p < n; ++p) {
+            procs.push_back(simulator.spawn(mviewWorker(p, qs, data),
+                                            "smp-mview"));
+        }
         break;
       }
     }
+    return procs;
+}
 
+TaskResult
+SmpTaskRunner::run(TaskKind kind, const DatasetSpec &data)
+{
+    Tick start = simulator.now();
+    obs::Span taskSpan("task", workload::taskName(kind), "task");
+    Queues queues;
+    launch(kind, data, &queues);
     simulator.run();
     result.elapsedTicks = simulator.now() - start;
     result.interconnectBytes = machine.fcBus().stats().bytes;
     return result;
+}
+
+Coro<void>
+SmpTaskRunner::runConcurrent(TaskKind kind, const DatasetSpec &data)
+{
+    Tick start = simulator.now();
+    // The queues live in this coroutine frame until every worker has
+    // drained them.
+    Queues queues;
+    auto procs = launch(kind, data, &queues);
+    co_await sim::joinAll(std::move(procs));
+    result.elapsedTicks = simulator.now() - start;
+    // The FC loop is shared across in-flight queries; bytes stay on
+    // the machine-wide counter rather than being mis-attributed here.
 }
 
 } // namespace howsim::tasks

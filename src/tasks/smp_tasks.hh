@@ -41,6 +41,32 @@ class SmpTaskRunner
     TaskResult run(workload::TaskKind kind,
                    const workload::DatasetSpec &data);
 
+    /**
+     * Re-entrant variant for the traffic driver: spawns the same
+     * workers and joins them without draining the simulator, so
+     * several runner instances can execute concurrently on one
+     * machine. Work queues are per-instance already; each instance
+     * additionally needs a distinct stream id (@ref setStream) for
+     * its phase barriers. Timing lands in @ref lastResult;
+     * interconnectBytes stays 0 (the FC loop is shared).
+     */
+    sim::Coro<void> runConcurrent(workload::TaskKind kind,
+                                  const workload::DatasetSpec &data);
+
+    /** Stream id isolating this instance's barriers. */
+    void setStream(int s) { stream = s; }
+
+    /**
+     * Fraction of the machine memory this instance plans with
+     * (working-set accounting under concurrency; default 1.0).
+     */
+    void setMemoryShare(double f) { memShare = f; }
+
+    const TaskResult &lastResult() const { return result; }
+
+    /** Drop this instance's per-stream machine state after a query. */
+    void retireStream() { machine.retireStream(stream); }
+
   private:
     /** Shared block queues created per run; workers index into it. */
     using Queues
@@ -48,6 +74,22 @@ class SmpTaskRunner
 
     sim::Coro<void> computeIn(int p, const char *bucket,
                               sim::Tick ref_ticks);
+
+    /** Spawn the worker set for @p kind; shared by run paths. */
+    std::vector<sim::ProcessRef>
+    launch(workload::TaskKind kind, const workload::DatasetSpec &data,
+           Queues *qs);
+
+    sim::Coro<void> barrier() { return machine.barrier(stream); }
+
+    /** This instance's share of the machine memory for @p n CPUs. */
+    std::uint64_t
+    totalMemory(int n) const
+    {
+        return static_cast<std::uint64_t>(
+            memShare
+            * static_cast<double>(machine.params().totalMemory(n)));
+    }
 
     sim::Coro<void> scanWorker(int p, Queues *qs,
                                const workload::DatasetSpec &data,
@@ -69,6 +111,8 @@ class SmpTaskRunner
     smp::SmpMachine &machine;
     workload::CostModel cm;
     TaskResult result;
+    int stream = 0;
+    double memShare = 1.0;
 };
 
 } // namespace howsim::tasks

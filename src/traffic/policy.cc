@@ -1,0 +1,122 @@
+#include "traffic/policy.hh"
+
+#include <deque>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace howsim::traffic
+{
+
+namespace
+{
+
+/** Strict arrival order. */
+class FifoPolicy : public TrafficPolicy
+{
+  public:
+    const char *name() const override { return "fifo"; }
+
+    void enqueue(const QueryTicket &t) override { q.push_back(t); }
+
+    QueryTicket
+    dequeue() override
+    {
+        if (q.empty())
+            panic("FifoPolicy::dequeue on an empty queue");
+        QueryTicket t = q.front();
+        q.pop_front();
+        return t;
+    }
+
+    bool empty() const override { return q.empty(); }
+
+    std::size_t queued() const override { return q.size(); }
+
+  private:
+    std::deque<QueryTicket> q;
+};
+
+/**
+ * Start-time fair queuing at admission granularity: each class owns
+ * a virtual start tag that advances by 1/share per admitted query,
+ * and the non-empty class with the smallest tag (ties to the lowest
+ * class index) is served next. A class that was idle resumes at the
+ * current virtual time rather than its stale tag, so backlogged
+ * classes cannot be starved by a returning one — the textbook SFQ
+ * discipline, with "admission" standing in for "transmission".
+ */
+class FairSharePolicy : public TrafficPolicy
+{
+  public:
+    explicit FairSharePolicy(const TrafficPlan &plan)
+        : queues(plan.classes.size()), nextStart(plan.classes.size())
+    {
+        for (const ClassSpec &c : plan.classes)
+            stride.push_back(1.0 / c.share);
+    }
+
+    const char *name() const override { return "fair"; }
+
+    void
+    enqueue(const QueryTicket &t) override
+    {
+        auto c = static_cast<std::size_t>(t.classIdx);
+        if (c >= queues.size())
+            panic("FairSharePolicy: class %d out of range",
+                  t.classIdx);
+        queues[c].push_back(t);
+        ++waiting;
+    }
+
+    QueryTicket
+    dequeue() override
+    {
+        if (waiting == 0)
+            panic("FairSharePolicy::dequeue on an empty queue");
+        std::size_t best = queues.size();
+        double bestTag = 0.0;
+        for (std::size_t c = 0; c < queues.size(); ++c) {
+            if (queues[c].empty())
+                continue;
+            double tag = std::max(nextStart[c], vtime);
+            if (best == queues.size() || tag < bestTag) {
+                best = c;
+                bestTag = tag;
+            }
+        }
+        vtime = bestTag;
+        nextStart[best] = bestTag + stride[best];
+        QueryTicket t = queues[best].front();
+        queues[best].pop_front();
+        --waiting;
+        return t;
+    }
+
+    bool empty() const override { return waiting == 0; }
+
+    std::size_t queued() const override { return waiting; }
+
+  private:
+    std::vector<std::deque<QueryTicket>> queues;
+    std::vector<double> nextStart;
+    std::vector<double> stride;
+    double vtime = 0.0;
+    std::size_t waiting = 0;
+};
+
+} // namespace
+
+std::unique_ptr<TrafficPolicy>
+TrafficPolicy::make(const TrafficPlan &plan)
+{
+    switch (plan.policy) {
+      case PolicyKind::Fifo:
+        return std::make_unique<FifoPolicy>();
+      case PolicyKind::Fair:
+        return std::make_unique<FairSharePolicy>(plan);
+    }
+    panic("unknown PolicyKind");
+}
+
+} // namespace howsim::traffic

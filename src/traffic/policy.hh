@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Admission-ordering policies for the traffic driver.
+ *
+ * The driver admits at most max.inflight concurrent queries; when a
+ * slot frees, the policy decides which waiting query runs next. The
+ * plug-in shape mirrors the scheduler/transfer-engine seams: a tiny
+ * abstract interface, concrete policies selected by the plan, and a
+ * make() factory. Policies are plain deterministic data structures —
+ * no randomness, no simulated time — so the admission order is a
+ * pure function of the ticket sequence.
+ */
+
+#ifndef HOWSIM_TRAFFIC_POLICY_HH
+#define HOWSIM_TRAFFIC_POLICY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "sim/ticks.hh"
+#include "traffic/plan.hh"
+
+namespace howsim::traffic
+{
+
+/** One submitted query waiting for (or holding) an execution slot. */
+struct QueryTicket
+{
+    /** Global submission index; stream id is qid + 1. */
+    std::uint64_t qid = 0;
+
+    /** Index into TrafficPlan::classes. */
+    int classIdx = 0;
+
+    /** Submission instant (latency is measured from here). */
+    sim::Tick arrival = 0;
+};
+
+/** Decides which queued query is admitted when a slot frees. */
+class TrafficPolicy
+{
+  public:
+    virtual ~TrafficPolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Add a waiting ticket. */
+    virtual void enqueue(const QueryTicket &ticket) = 0;
+
+    /** Remove and return the next ticket. @pre !empty(). */
+    virtual QueryTicket dequeue() = 0;
+
+    virtual bool empty() const = 0;
+
+    /** Number of waiting tickets. */
+    virtual std::size_t queued() const = 0;
+
+    /** The policy selected by @p plan (fifo | fair). */
+    static std::unique_ptr<TrafficPolicy> make(const TrafficPlan &plan);
+};
+
+} // namespace howsim::traffic
+
+#endif // HOWSIM_TRAFFIC_POLICY_HH

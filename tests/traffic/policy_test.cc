@@ -1,0 +1,103 @@
+/**
+ * @file Admission policy ordering: FIFO preserves arrival order;
+ * fair-share interleaves classes by weight and never starves a
+ * backlogged class.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "traffic/plan.hh"
+#include "traffic/policy.hh"
+
+using namespace howsim;
+using traffic::QueryTicket;
+using traffic::TrafficPlan;
+using traffic::TrafficPolicy;
+
+namespace
+{
+
+QueryTicket
+ticket(std::uint64_t qid, int cls)
+{
+    QueryTicket t;
+    t.qid = qid;
+    t.classIdx = cls;
+    return t;
+}
+
+std::vector<std::uint64_t>
+drain(TrafficPolicy &policy)
+{
+    std::vector<std::uint64_t> order;
+    while (!policy.empty())
+        order.push_back(policy.dequeue().qid);
+    return order;
+}
+
+} // namespace
+
+TEST(TrafficPolicy, FifoPreservesArrivalOrder)
+{
+    TrafficPlan plan
+        = TrafficPlan::parse("rate=1,duration.ms=1,"
+                             "mix.select=1,mix.join=1");
+    auto policy = TrafficPolicy::make(plan);
+    EXPECT_STREQ(policy->name(), "fifo");
+    policy->enqueue(ticket(3, 1));
+    policy->enqueue(ticket(1, 0));
+    policy->enqueue(ticket(2, 1));
+    EXPECT_EQ(policy->queued(), 3u);
+    EXPECT_EQ(drain(*policy),
+              (std::vector<std::uint64_t>{3, 1, 2}));
+}
+
+TEST(TrafficPolicy, FairShareInterleavesByWeight)
+{
+    // select has 2x the share of join: admissions go 2:1.
+    TrafficPlan plan = TrafficPlan::parse(
+        "rate=1,duration.ms=1,policy=fair,"
+        "mix.select=1,mix.join=1,share.select=2,share.join=1");
+    auto policy = TrafficPolicy::make(plan);
+    EXPECT_STREQ(policy->name(), "fair");
+    // qids 0-5 are class 0 (select), 10-15 class 1 (join).
+    for (std::uint64_t q = 0; q < 6; ++q)
+        policy->enqueue(ticket(q, 0));
+    for (std::uint64_t q = 10; q < 16; ++q)
+        policy->enqueue(ticket(q, 1));
+    std::vector<std::uint64_t> order = drain(*policy);
+    // First three admissions: two selects per join.
+    int selects = 0;
+    for (int i = 0; i < 3; ++i)
+        selects += order[static_cast<std::size_t>(i)] < 10 ? 1 : 0;
+    EXPECT_EQ(selects, 2);
+    // Everyone is eventually admitted exactly once.
+    EXPECT_EQ(order.size(), 12u);
+}
+
+TEST(TrafficPolicy, FairShareDoesNotStarveAReturningClass)
+{
+    TrafficPlan plan = TrafficPlan::parse(
+        "rate=1,duration.ms=1,policy=fair,"
+        "mix.select=1,mix.join=1");
+    auto policy = TrafficPolicy::make(plan);
+    // Class 0 runs alone for a while, advancing its virtual tag...
+    for (std::uint64_t q = 0; q < 8; ++q) {
+        policy->enqueue(ticket(q, 0));
+        policy->dequeue();
+    }
+    // ...then class 1 shows up; equal shares must now alternate
+    // rather than letting class 1 monopolize until it "catches up".
+    for (std::uint64_t q = 100; q < 104; ++q)
+        policy->enqueue(ticket(q, 1));
+    for (std::uint64_t q = 8; q < 12; ++q)
+        policy->enqueue(ticket(q, 0));
+    std::vector<std::uint64_t> order = drain(*policy);
+    ASSERT_EQ(order.size(), 8u);
+    int firstFour = 0;
+    for (int i = 0; i < 4; ++i)
+        firstFour += order[static_cast<std::size_t>(i)] < 100 ? 1 : 0;
+    EXPECT_EQ(firstFour, 2) << "classes must alternate 2:2";
+}
