@@ -10,24 +10,30 @@
  * Two things worth knowing before reading the numbers (docs/perf.md
  * covers both):
  *
- *  - The paper machines register a single coroutine domain, so their
- *    components co-locate on partition 0: the windowed executive runs
- *    for real (threads, barriers, one window) but has no work to
- *    spread. Expect speedup ~1x with a small overhead — that row
- *    demonstrates bit-identity and bounds the machinery's cost.
+ *  - The paper machines declare one domain per device (DESIGN.md
+ *    §14's domain maps), so the figure slice fans the drive models
+ *    out across partitions for real. Speedup is bounded by the
+ *    host-domain share of the work (the front-end and interconnect
+ *    stay on partition 0) and by the window rate: the stall column
+ *    is the tell. Event-dominated shapes — many drives, small
+ *    requests — scale best.
  *
  *  - The synthetic workload homes independent process groups on every
  *    partition (Simulator::spawnOn) exchanging mailbox events
- *    (Simulator::postCross), so it actually fans out — on a
- *    multi-core host. On a 1-CPU container the threads time-share and
- *    the stall fraction is the honest cost of pretending otherwise.
+ *    (Simulator::postCross): near-linear fan-out, the executive's
+ *    best case. On a 1-CPU container both sections time-share one
+ *    core and the stall fraction is the honest cost of pretending
+ *    otherwise — expect <= 1x there, not a regression.
  *
- * Usage: pdes_sweep [scale]
+ * Usage: pdes_sweep [--quick] [scale]
+ *   --quick shrinks both sections for the CI smoke: it checks
+ *   bit-identity and prints speedups without gating on them.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "core/experiment.hh"
@@ -56,8 +62,8 @@ figureSlice(int scale)
 {
     std::printf("figure-1 slice: select, active disks, scale %d\n",
                 scale);
-    std::printf("  %5s %12s %9s %9s\n", "pdes", "result", "wall",
-                "speedup");
+    std::printf("  %5s %12s %9s %9s %8s\n", "pdes", "result", "wall",
+                "speedup", "stall");
     double serialWall = 0;
     sim::Tick serialResult = 0;
     for (int pdes : {1, 2, 4}) {
@@ -79,9 +85,10 @@ figureSlice(int scale)
                          "BUG: pdes=%d diverged from serial\n", pdes);
             std::exit(1);
         }
-        std::printf("  %5d %10.3fs %8.2fs %8.2fx%s\n", pdes,
+        std::printf("  %5d %10.3fs %8.2fs %8.2fx %7.1f%%%s\n", pdes,
                     sim::toSeconds(result.elapsedTicks), wall,
                     serialWall / wall,
+                    result.pdes.stallFraction() * 100.0,
                     pdes == 1 ? "  (baseline)" : "");
     }
     std::printf("  all partition counts produced identical results\n");
@@ -93,11 +100,10 @@ figureSlice(int scale)
  * — the shape the windowed executive can actually parallelize.
  */
 void
-syntheticSweep()
+syntheticSweep(int hops)
 {
     constexpr sim::Tick lookahead = sim::microseconds(10);
     constexpr int groups = 4;
-    constexpr int hops = 60000;
     std::printf("\nsynthetic multi-partition cascade: %d groups x %d "
                 "hops\n", groups, hops);
     std::printf("  %5s %8s %9s %9s %8s %10s\n", "pdes", "wall",
@@ -153,12 +159,22 @@ syntheticSweep()
 int
 main(int argc, char **argv)
 {
-    int scale = argc > 1 ? std::atoi(argv[1]) : 16;
+    bool quick = false;
+    int scale = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else
+            scale = std::atoi(argv[i]);
+    }
+    if (scale == 0)
+        scale = quick ? 8 : 16;
     if (scale <= 0) {
-        std::fprintf(stderr, "usage: pdes_sweep [scale>0]\n");
+        std::fprintf(stderr,
+                     "usage: pdes_sweep [--quick] [scale>0]\n");
         return 1;
     }
     figureSlice(scale);
-    syntheticSweep();
+    syntheticSweep(quick ? 15000 : 60000);
     return 0;
 }

@@ -76,10 +76,10 @@ ClusterMachine::write(int node, std::uint64_t offset,
 }
 
 sim::Coro<void>
-ClusterMachine::barrier(int stream)
+ClusterMachine::barrier(int node, int stream)
 {
     if (stream == 0) {
-        co_await syncBarrier->arrive();
+        co_await syncBarrier->arrive(node);
         co_return;
     }
     auto it = streamBarriers.find(stream);
@@ -111,21 +111,52 @@ ClusterMachine::retireStream(int stream)
 }
 
 void
-ClusterMachine::describePartitions(sim::PartitionGraph &graph) const
+ClusterMachine::describePartitions(sim::PartitionGraph &graph)
 {
-    // One coroutine domain: a transport() frame spans sender NIC,
-    // switch stages and receiver NIC, so nodes cannot yet execute on
-    // separate threads.
-    constexpr int domain = 0;
-    int fab = graph.addComponent("cluster.fabric", domain);
-    int fe = graph.addComponent("cluster.frontend", domain);
-    sim::Tick latency = fabric->minMessageLatency();
-    graph.addEdge(fab, fe, latency);
+    // Fabric/front-end domain 0: the stage buses, the link sequence
+    // counters, the fault decisions and the front-end's merge work
+    // all execute there (and partition 0 is the calling thread, so
+    // the obs session and fault injector keep working). Each node is
+    // its own domain: the only traffic across the cut is the message
+    // layer's keyed send/deliver/ack handshake, one switch hop per
+    // leg, so the cut-edge latency is the fabric's hop latency.
+    constexpr int feDomain = 0;
+    fabComp = graph.addComponent("cluster.fabric", feDomain);
+    int fe = graph.addComponent("cluster.frontend", feDomain);
+    sim::Tick latency = crossLatency();
+    graph.addEdge(fabComp, fe, latency);
+    nodeComps.clear();
     for (int n = 0; n < size(); ++n) {
         int c = graph.addComponent(strprintf("cluster.node%d", n),
-                                   domain);
-        graph.addEdge(c, fab, latency);
+                                   1 + n);
+        graph.addEdge(c, fabComp, latency);
+        nodeComps.push_back(c);
     }
+}
+
+void
+ClusterMachine::adoptPlan(const sim::PartitionGraph::Plan &plan)
+{
+    if (fabComp < 0
+        || nodeComps.size() != static_cast<std::size_t>(size()))
+        panic("ClusterMachine::adoptPlan before describePartitions");
+    fePart = plan.partitionOf[static_cast<std::size_t>(fabComp)];
+    nodeParts.resize(nodeComps.size());
+    for (int n = 0; n < size(); ++n) {
+        auto idx = static_cast<std::size_t>(n);
+        nodeParts[idx] = plan.partitionOf[static_cast<std::size_t>(
+            nodeComps[idx])];
+    }
+    // Network host ids run workers first, front-end last.
+    std::vector<int> hostParts = nodeParts;
+    hostParts.push_back(fePart);
+    msgLayer->setTopology(fePart, crossLatency(),
+                          std::move(hostParts));
+    // A single node keeps the legacy barrier: with one participant
+    // the keyed round trip adds nothing (and logCost(1) leaves no
+    // release margin for the arrival edge).
+    if (size() > 1)
+        syncBarrier->setTopology(fePart, crossLatency(), nodeParts);
 }
 
 } // namespace howsim::arch

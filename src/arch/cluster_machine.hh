@@ -77,11 +77,13 @@ class ClusterMachine
     net::Network &network() { return *fabric; }
 
     /**
-     * Barrier over the worker nodes. Streams get independent
-     * barriers (identical cost model) so concurrent traffic queries
-     * never gate each other's phase boundaries; 0 is the batch path.
+     * Barrier over the worker nodes, arriving as @p node. The batch
+     * barrier (stream 0) uses the partitioned keyed protocol once a
+     * plan is adopted; streams get independent legacy barriers
+     * (identical cost model, co-located traffic only) so concurrent
+     * traffic queries never gate each other's phase boundaries.
      */
-    sim::Coro<void> barrier(int stream = 0);
+    sim::Coro<void> barrier(int node, int stream = 0);
 
     /**
      * Drop the per-stream barrier and message-tag band of a
@@ -96,12 +98,44 @@ class ClusterMachine
 
     /**
      * Register this machine's components and interconnect edges with
-     * a partition planner. Nodes, fabric and front-end share one
-     * coroutine domain (a transport() frame spans sender, fabric and
-     * receiver state), so the plan co-locates them; node–fabric edges
-     * carry the fabric's minimum hop latency (DESIGN.md §14).
+     * a partition planner. The fabric and the front-end form one
+     * domain (every stage-bus transfer, fault decision and front-end
+     * merge runs there); each node — CPU, PCI bus and local disk — is
+     * its own domain, reached only through the message layer's keyed
+     * send/deliver/ack handshakes, whose cut edges carry the fabric's
+     * minimum hop latency (DESIGN.md §14). Records component ids for
+     * adoptPlan().
      */
-    void describePartitions(sim::PartitionGraph &graph) const;
+    void describePartitions(sim::PartitionGraph &graph);
+
+    /**
+     * Adopt a partition plan produced from describePartitions()'s
+     * graph: homes the message layer's send protocol and switches
+     * the batch barrier to the partitioned arrival protocol.
+     */
+    void adoptPlan(const sim::PartitionGraph::Plan &plan);
+
+    /** Partition of the front-end/fabric domain under the plan. */
+    int frontendPartition() const { return fePart; }
+
+    /** Partition of node @p n under the plan. */
+    int
+    nodePartition(int n) const
+    {
+        return nodeParts.empty()
+                   ? fePart
+                   : nodeParts[static_cast<std::size_t>(n)];
+    }
+
+    /**
+     * Minimum latency of one keyed hop in the send protocol — the
+     * fabric's switch-hop latency, and therefore the lookahead of
+     * every node/fabric cut edge.
+     */
+    sim::Tick crossLatency() const
+    {
+        return fabric->minMessageLatency();
+    }
 
   private:
     struct Node
@@ -122,6 +156,12 @@ class ClusterMachine
     // Per-stream barriers for concurrent traffic queries, created on
     // first use; the batch path (stream 0) never touches this map.
     std::map<int, std::unique_ptr<net::Barrier>> streamBarriers;
+
+    // Partition-plan bookkeeping (describePartitions / adoptPlan).
+    int fabComp = -1;
+    std::vector<int> nodeComps;
+    int fePart = 0;
+    std::vector<int> nodeParts;
 };
 
 } // namespace howsim::arch

@@ -150,21 +150,44 @@ publishFaultMetrics(obs::Session *sess, fault::Injector *inj)
 
 /**
  * Feed the machine's topology to the partition planner and adopt the
- * resulting lookahead. Today every machine registers one coroutine
- * domain, so the plan is a co-location (all components on partition
- * 0) with no cut edges — the parallel executive runs its windowed
- * loop but results stay bit-identical to serial (DESIGN.md §14).
+ * resulting placement and lookahead. Every machine declares per-device
+ * domains (host(s), per-drive/node, interconnect) whose cut edges
+ * carry the honest handshake latencies, so the paper figures fan out
+ * across partitions for real (DESIGN.md §14). This always runs — the
+ * serial executive adopts the same (all-partition-0) plan, keeping
+ * machine-side key-stream allocation identical between serial and
+ * parallel runs, which is what makes their event orders comparable.
+ *
+ * A fail-stop plan forces co-location: the recovery protocol joins
+ * worker processes across the device boundary, which the partitioned
+ * executive does not support. The run degrades to one group with a
+ * warn rather than failing.
  */
 template <typename Machine>
 void
-planPartitions(sim::Simulator &simulator, const Machine &machine)
+planPartitions(sim::Simulator &simulator, Machine &machine,
+               bool coLocate)
 {
-    if (simulator.partitions() <= 1)
-        return;
     sim::PartitionGraph graph;
     machine.describePartitions(graph);
-    sim::PartitionGraph::Plan plan = graph.plan(simulator.partitions());
+    int nparts = simulator.partitions();
+    if (coLocate && nparts > 1) {
+        warn("fail-stop fault plan forces partition co-location; "
+             "HOWSIM_PDES=%d runs windowed but single-group",
+             nparts);
+        nparts = 1;
+    }
+    sim::PartitionGraph::Plan plan = graph.plan(nparts);
+    if (plan.groups < nparts) {
+        // More partitions than co-location groups: the surplus
+        // partitions idle through every window. Warn rather than
+        // silently leaving cores spinning.
+        warn("HOWSIM_PDES=%d exceeds the machine's %d domain "
+             "group(s); %d partition(s) will idle",
+             nparts, plan.groups, nparts - plan.groups);
+    }
     simulator.setLookahead(plan.lookahead);
+    machine.adoptPlan(plan);
 }
 
 } // namespace
@@ -203,9 +226,10 @@ runExperiment(const ExperimentConfig &config)
         params.xfer = config.xfer;
         diskos::ActiveDiskArray machine(simulator, config.scale,
                                         config.drive, params);
-        planPartitions(simulator, machine);
+        planPartitions(simulator, machine, plan.stopConfigured());
         tasks::AdTaskRunner runner(simulator, machine, config.costs);
         auto result = runner.run(config.task, data);
+        result.pdes = simulator.pdesStats();
         publishFaultMetrics(obsSession.get(), faultScope.injector());
         if (obsSession)
             obsSession->dump(); // while probed components are alive
@@ -217,10 +241,11 @@ runExperiment(const ExperimentConfig &config)
         params.nodeBus.xfer = config.xfer;
         arch::ClusterMachine machine(simulator, config.scale,
                                      config.drive, params);
-        planPartitions(simulator, machine);
+        planPartitions(simulator, machine, plan.stopConfigured());
         tasks::ClusterTaskRunner runner(simulator, machine,
                                         config.costs);
         auto result = runner.run(config.task, data);
+        result.pdes = simulator.pdesStats();
         publishFaultMetrics(obsSession.get(), faultScope.injector());
         if (obsSession)
             obsSession->dump();
@@ -233,9 +258,10 @@ runExperiment(const ExperimentConfig &config)
         params.xfer = config.xfer;
         smp::SmpMachine machine(simulator, config.scale, config.scale,
                                 config.drive, params);
-        planPartitions(simulator, machine);
+        planPartitions(simulator, machine, plan.stopConfigured());
         tasks::SmpTaskRunner runner(simulator, machine, config.costs);
         auto result = runner.run(config.task, data);
+        result.pdes = simulator.pdesStats();
         publishFaultMetrics(obsSession.get(), faultScope.injector());
         if (obsSession)
             obsSession->dump();

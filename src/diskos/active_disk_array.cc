@@ -72,6 +72,13 @@ ActiveDiskArray::ActiveDiskArray(sim::Simulator &s, int ndisks,
             }
         }
     }
+    // Keyed-protocol streams, allocated last and in fixed order so
+    // stream identity — part of the deterministic event order — is
+    // independent of how the machine is later partitioned.
+    driveKeys.reserve(static_cast<std::size_t>(ndisks));
+    for (int d = 0; d < ndisks; ++d)
+        driveKeys.push_back(s.allocKeyStream());
+    feKeys = s.allocKeyStream();
 }
 
 disk::Disk &
@@ -258,15 +265,10 @@ ActiveDiskArray::relayViaFrontend(int dst, std::uint64_t bytes)
 }
 
 sim::Coro<void>
-ActiveDiskArray::send(int src, int dst, AdBlock block, int stream)
+ActiveDiskArray::sendFeLeg(int src, int dst, int stream,
+                           AdBlock *block, sim::Trigger *acked)
 {
-    if (src < 0 || src >= size() || dst < 0 || dst >= size())
-        panic("ActiveDiskArray::send: bad endpoints %d -> %d", src, dst);
-    block.src = src;
-    auto &from = drives[static_cast<std::size_t>(src)];
-    std::uint64_t bytes = block.bytes;
-
-    co_await from.commBuffers->acquire();
+    std::uint64_t bytes = block->bytes;
     // First crossing reaches the peer directly or lands at the
     // front-end for relay, depending on the architecture.
     if (faultInj)
@@ -276,11 +278,78 @@ ActiveDiskArray::send(int src, int dst, AdBlock block, int stream)
         co_await fc->transfer(bytes);
     if (!adParams.directD2d)
         co_await relayViaFrontend(dst, bytes);
-    from.commBuffers->release();
+    ActiveDiskArray *self = this;
+    int ackPart = drivePartition(src);
+    simulator.postKeyed(
+        drivePartition(dst), simulator.now() + crossLatency(),
+        feKeys.next(), [self, dst, stream, block, ackPart, acked] {
+            self->simulator.spawnDetached(
+                self->deliverLeg(dst, stream, block, ackPart, acked),
+                "addeliver");
+        });
+}
 
+sim::Coro<void>
+ActiveDiskArray::deliverLeg(int dst, int stream, AdBlock *block,
+                            int ackPart, sim::Trigger *acked)
+{
+    drives[static_cast<std::size_t>(dst)].stats.bytesReceived
+        += block->bytes;
+    co_await inbox(dst, stream).send(std::move(*block));
+    simulator.postKeyed(ackPart, simulator.now() + crossLatency(),
+                        driveKeys[static_cast<std::size_t>(dst)].next(),
+                        [acked] { acked->fire(); });
+}
+
+sim::Coro<void>
+ActiveDiskArray::feIngestLeg(int src, int stream, AdBlock *block,
+                             sim::Trigger *acked)
+{
+    std::uint64_t bytes = block->bytes;
+    if (faultInj)
+        co_await loopTransfer(src, -1, bytes);
+    else
+        co_await fc->transfer(bytes);
+    // Ingest copy into front-end memory.
+    co_await feCpu->copyBytes(bytes, adParams.frontendCopyRefRate());
+    feStats.bytesIngested += bytes;
+    co_await frontendInbox(stream).send(std::move(*block));
+    simulator.postKeyed(drivePartition(src),
+                        simulator.now() + crossLatency(),
+                        feKeys.next(), [acked] { acked->fire(); });
+}
+
+sim::Coro<void>
+ActiveDiskArray::send(int src, int dst, AdBlock block, int stream)
+{
+    if (src < 0 || src >= size() || dst < 0 || dst >= size())
+        panic("ActiveDiskArray::send: bad endpoints %d -> %d", src, dst);
+    block.src = src;
+    auto &from = drives[static_cast<std::size_t>(src)];
+    std::uint64_t bytes = block.bytes;
+
+    co_await from.commBuffers->acquire();
+    // Keyed handshake: the request crosses to the loop/front-end
+    // partition, the transfer (and relay) runs there, the block
+    // crosses to the destination drive, and the ack releases this
+    // frame — the DiskOS stream buffer is held until the block is
+    // enqueued at the destination (flow control covers the whole
+    // flight). The block and trigger live in this suspended frame.
+    sim::Trigger acked;
+    AdBlock *blockPtr = &block;
+    sim::Trigger *ackedPtr = &acked;
+    ActiveDiskArray *self = this;
+    simulator.postKeyed(
+        fePart, simulator.now() + crossLatency(),
+        driveKeys[static_cast<std::size_t>(src)].next(),
+        [self, src, dst, stream, blockPtr, ackedPtr] {
+            self->simulator.spawnDetached(
+                self->sendFeLeg(src, dst, stream, blockPtr, ackedPtr),
+                "adsend");
+        });
+    co_await acked.wait();
+    from.commBuffers->release();
     from.stats.bytesSent += bytes;
-    drives[static_cast<std::size_t>(dst)].stats.bytesReceived += bytes;
-    co_await inbox(dst, stream).send(std::move(block));
 }
 
 sim::Coro<void>
@@ -293,17 +362,21 @@ ActiveDiskArray::sendToFrontend(int src, AdBlock block, int stream)
     std::uint64_t bytes = block.bytes;
 
     co_await from.commBuffers->acquire();
-    if (faultInj)
-        co_await loopTransfer(src, -1, bytes);
-    else
-        co_await fc->transfer(bytes);
-    // Ingest copy into front-end memory.
-    co_await feCpu->copyBytes(bytes, adParams.frontendCopyRefRate());
+    sim::Trigger acked;
+    AdBlock *blockPtr = &block;
+    sim::Trigger *ackedPtr = &acked;
+    ActiveDiskArray *self = this;
+    simulator.postKeyed(
+        fePart, simulator.now() + crossLatency(),
+        driveKeys[static_cast<std::size_t>(src)].next(),
+        [self, src, stream, blockPtr, ackedPtr] {
+            self->simulator.spawnDetached(
+                self->feIngestLeg(src, stream, blockPtr, ackedPtr),
+                "adingest");
+        });
+    co_await acked.wait();
     from.commBuffers->release();
-
     from.stats.bytesSent += bytes;
-    feStats.bytesIngested += bytes;
-    co_await frontendInbox(stream).send(std::move(block));
 }
 
 sim::Coro<void>
@@ -313,20 +386,35 @@ ActiveDiskArray::frontendSend(int dst, AdBlock block, int stream)
         panic("ActiveDiskArray::frontendSend: bad destination %d", dst);
     block.src = -1;
     std::uint64_t bytes = block.bytes;
+    // Runs on the front-end partition: copy-out and crossing are
+    // local; only the delivery leg crosses to the drive.
     co_await feCpu->copyBytes(bytes, adParams.frontendCopyRefRate());
     if (faultInj)
         co_await loopTransfer(-1, dst, bytes);
     else
         co_await fc->transfer(bytes);
-    drives[static_cast<std::size_t>(dst)].stats.bytesReceived += bytes;
-    co_await inbox(dst, stream).send(std::move(block));
+    sim::Trigger acked;
+    AdBlock *blockPtr = &block;
+    sim::Trigger *ackedPtr = &acked;
+    ActiveDiskArray *self = this;
+    int ackPart = fePart;
+    simulator.postKeyed(
+        drivePartition(dst), simulator.now() + crossLatency(),
+        feKeys.next(),
+        [self, dst, stream, blockPtr, ackPart, ackedPtr] {
+            self->simulator.spawnDetached(
+                self->deliverLeg(dst, stream, blockPtr, ackPart,
+                                 ackedPtr),
+                "addeliver");
+        });
+    co_await acked.wait();
 }
 
 sim::Coro<void>
-ActiveDiskArray::barrier(int stream)
+ActiveDiskArray::barrier(int participant, int stream)
 {
     if (stream == 0) {
-        co_await syncBarrier->arrive();
+        co_await syncBarrier->arrive(participant);
         co_return;
     }
     auto it = streamBarriers.find(stream);
@@ -345,22 +433,46 @@ ActiveDiskArray::barrier(int stream)
 }
 
 void
-ActiveDiskArray::describePartitions(sim::PartitionGraph &graph) const
+ActiveDiskArray::describePartitions(sim::PartitionGraph &graph)
 {
-    // One coroutine domain: a send() frame walks drive, loop and
-    // front-end state in a single continuation, so no component can
-    // execute on another thread until that path is split into
-    // per-device events.
-    constexpr int domain = 0;
-    int loop = graph.addComponent("ad.fc", domain);
-    int fe = graph.addComponent("ad.frontend", domain);
-    sim::Tick latency = fc->minGrantLatency();
-    graph.addEdge(loop, fe, latency);
+    // Loop/front-end domain 0: every transfer, relay and front-end
+    // copy runs there, and it owns the per-link sequence counters.
+    // Each drive is its own domain, reached only through the keyed
+    // send/deliver/ack handshakes whose legs cross at the loop's
+    // grant latency.
+    constexpr int loopDomain = 0;
+    loopComp = graph.addComponent("ad.fc", loopDomain);
+    int fe = graph.addComponent("ad.frontend", loopDomain);
+    sim::Tick latency = crossLatency();
+    graph.addEdge(loopComp, fe, latency);
+    driveComps.clear();
     for (int d = 0; d < size(); ++d) {
         int c = graph.addComponent(strprintf("ad.drive%d", d),
-                                   domain);
-        graph.addEdge(c, loop, latency);
+                                   1 + d);
+        graph.addEdge(c, loopComp, latency);
+        driveComps.push_back(c);
     }
+}
+
+void
+ActiveDiskArray::adoptPlan(const sim::PartitionGraph::Plan &plan)
+{
+    if (loopComp < 0
+        || driveComps.size() != static_cast<std::size_t>(size()))
+        panic("ActiveDiskArray::adoptPlan before describePartitions");
+    fePart = plan.partitionOf[static_cast<std::size_t>(loopComp)];
+    driveParts.resize(driveComps.size());
+    for (int d = 0; d < size(); ++d) {
+        auto idx = static_cast<std::size_t>(d);
+        driveParts[idx] = plan.partitionOf[static_cast<std::size_t>(
+            driveComps[idx])];
+    }
+    // The batch barrier's home is the front-end; arrivals cross at
+    // the loop grant latency, which setTopology checks against the
+    // completion cost. A single-drive array keeps the legacy path
+    // (logCost(1) == 0 leaves no margin for an edge).
+    if (size() > 1)
+        syncBarrier->setTopology(fePart, crossLatency(), driveParts);
 }
 
 } // namespace howsim::diskos

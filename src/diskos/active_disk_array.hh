@@ -134,11 +134,14 @@ class ActiveDiskArray
     /** @} */
 
     /**
-     * Barrier over all drives (front-end coordinated). Streams get
-     * independent barriers (identical cost model) so one query's
-     * phase boundary never gates another's.
+     * Barrier over all drives (front-end coordinated), arriving as
+     * drive @p participant. The batch barrier (stream 0) uses the
+     * partitioned keyed protocol once a plan is adopted; streams get
+     * independent legacy barriers (identical cost model, co-located
+     * traffic only) so one query's phase boundary never gates
+     * another's.
      */
-    sim::Coro<void> barrier(int stream = 0);
+    sim::Coro<void> barrier(int participant, int stream = 0);
 
     /**
      * Drop the per-stream channels and barrier of a completed
@@ -165,13 +168,40 @@ class ActiveDiskArray
 
     /**
      * Register this machine's components and interconnect edges with
-     * a partition planner. Drives, interconnect and front-end share
-     * one coroutine domain — a send() frame walks drive, loop and
-     * front-end state — so the plan co-locates them; the edges carry
-     * the loop's minimum grant latency for the day the send path is
-     * split into per-device events (DESIGN.md §14).
+     * a partition planner. The serial interconnect and the front-end
+     * form one domain (every loop transfer and relay runs there);
+     * each drive is its own domain, reached only through the keyed
+     * send/deliver/ack handshakes, whose cut edges carry the loop's
+     * minimum grant latency (DESIGN.md §14). Records component ids
+     * for adoptPlan().
      */
-    void describePartitions(sim::PartitionGraph &graph) const;
+    void describePartitions(sim::PartitionGraph &graph);
+
+    /**
+     * Adopt a partition plan produced from describePartitions()'s
+     * graph: homes the send-protocol endpoints and switches the batch
+     * barrier to the partitioned arrival protocol.
+     */
+    void adoptPlan(const sim::PartitionGraph::Plan &plan);
+
+    /** Partition of the front-end/loop domain under the plan. */
+    int frontendPartition() const { return fePart; }
+
+    /** Partition of drive @p d under the plan. */
+    int
+    drivePartition(int d) const
+    {
+        return driveParts.empty()
+                   ? fePart
+                   : driveParts[static_cast<std::size_t>(d)];
+    }
+
+    /**
+     * Minimum latency of one keyed hop in the send protocol — the
+     * loop's grant latency, and therefore the lookahead of every
+     * drive/loop cut edge.
+     */
+    sim::Tick crossLatency() const { return fc->minGrantLatency(); }
 
   private:
     struct Drive
@@ -190,9 +220,40 @@ class ActiveDiskArray
      * injected frame loss: timeout + retransmit with exponential
      * backoff on a drop, immediate NACK retransmit on corruption.
      * Callers branch to the plain fc transfer when faults are off.
+     * Always executes on the front-end/loop partition, which owns
+     * the per-link sequence counters.
      */
     sim::Coro<void> loopTransfer(int src, int dst,
                                  std::uint64_t bytes);
+
+    /**
+     * @name Keyed send-protocol legs (DESIGN.md §14)
+     *
+     * A send is a chain of detached coroutines, one per partition it
+     * visits, stitched together by keyed events that cross the cut
+     * edges at crossLatency(). The AdBlock and the completion
+     * trigger live in the originating coroutine's suspended frame;
+     * the window barrier orders each leg's accesses before the next
+     * partition's.
+     */
+    /** @{ */
+
+    /** Loop/front-end leg of a drive-to-drive send. */
+    sim::Coro<void> sendFeLeg(int src, int dst, int stream,
+                              AdBlock *block, sim::Trigger *acked);
+
+    /**
+     * Destination-drive leg: count the bytes, enqueue into the inbox
+     * (blocking on flow control), then ack to @p ackPart.
+     */
+    sim::Coro<void> deliverLeg(int dst, int stream, AdBlock *block,
+                               int ackPart, sim::Trigger *acked);
+
+    /** Front-end leg of sendToFrontend: transfer, copy, ingest. */
+    sim::Coro<void> feIngestLeg(int src, int stream, AdBlock *block,
+                                sim::Trigger *acked);
+
+    /** @} */
 
     sim::Simulator &simulator;
     AdParams adParams;
@@ -219,6 +280,18 @@ class ActiveDiskArray
     fault::Injector *faultInj = nullptr;
     std::map<std::pair<int, int>, std::uint64_t> linkSeq;
     obs::Counter *obsRetrans = nullptr;
+
+    // Keyed send-protocol streams: driveKeys[d] is advanced only by
+    // events executing on drive d's partition, feKeys only on the
+    // front-end/loop partition (allocation order fixed in the ctor).
+    std::vector<sim::KeyStream> driveKeys;
+    sim::KeyStream feKeys;
+
+    // Partition-plan bookkeeping (describePartitions / adoptPlan).
+    int loopComp = -1;
+    std::vector<int> driveComps;
+    int fePart = 0;
+    std::vector<int> driveParts;
 };
 
 } // namespace howsim::diskos

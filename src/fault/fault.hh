@@ -23,6 +23,7 @@
 #ifndef HOWSIM_FAULT_FAULT_HH
 #define HOWSIM_FAULT_FAULT_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -127,20 +128,26 @@ struct FaultPlan
     static FaultPlan fromEnv();
 };
 
-/** Totals of injected events, readable by tests and timeline probes. */
+/**
+ * Totals of injected events, readable by tests and timeline probes.
+ * Fields are atomics because under the partitioned machines
+ * (DESIGN.md §14) faults fire on whichever partition owns the faulted
+ * device; increments commute, so the totals stay deterministic even
+ * though the interleaving is not.
+ */
 struct Counters
 {
-    std::uint64_t diskSlowRequests = 0;
-    sim::Tick diskSlowTicks = 0;
-    std::uint64_t diskMediaErrors = 0;
-    std::uint64_t diskRetries = 0;
-    std::uint64_t diskRemaps = 0;
-    std::uint64_t netDrops = 0;
-    std::uint64_t netCorruptions = 0;
-    std::uint64_t netRetransmits = 0;
-    std::uint64_t stopDeaths = 0;
-    std::uint64_t stopRedirects = 0;
-    std::uint64_t recoveredBlocks = 0;
+    std::atomic<std::uint64_t> diskSlowRequests{0};
+    std::atomic<sim::Tick> diskSlowTicks{0};
+    std::atomic<std::uint64_t> diskMediaErrors{0};
+    std::atomic<std::uint64_t> diskRetries{0};
+    std::atomic<std::uint64_t> diskRemaps{0};
+    std::atomic<std::uint64_t> netDrops{0};
+    std::atomic<std::uint64_t> netCorruptions{0};
+    std::atomic<std::uint64_t> netRetransmits{0};
+    std::atomic<std::uint64_t> stopDeaths{0};
+    std::atomic<std::uint64_t> stopRedirects{0};
+    std::atomic<std::uint64_t> recoveredBlocks{0};
 };
 
 /** splitmix64 finalizer: the core of every injection decision. */

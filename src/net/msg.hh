@@ -104,6 +104,21 @@ class MsgLayer
      */
     void retireTagRange(int tagLo, int tagHi);
 
+    /**
+     * Declare the partitioned topology (DESIGN.md §14): the fabric's
+     * partition — which owns the stage buses, the link sequence
+     * counters and the fault decisions — the minimum cut-edge latency
+     * (one switch hop), and each host's partition. From then on a
+     * cross-host send() is a chain of three coroutine legs (source,
+     * fabric, destination) stitched by keyed events, instead of one
+     * frame spanning all three devices; loopback stays local to the
+     * host. Allocates key streams and the batch band's (host, tag)
+     * queues, so call order must be fixed at machine-construction
+     * time and further queues must never appear lazily.
+     */
+    void setTopology(int fabricPartition, sim::Tick edgeLatency,
+                     std::vector<int> partitionOfHost);
+
     const MsgParams &params() const { return msgParams; }
 
   private:
@@ -112,6 +127,31 @@ class MsgLayer
     Queue &queueFor(int host, int tag);
     sim::Coro<void> faultyTransport(int src, int dst,
                                     std::uint64_t bytes);
+
+    /** @name Keyed send-protocol legs (after setTopology)
+     *
+     * The Message and the completion trigger live in send()'s
+     * suspended frame; the window barrier orders each leg's accesses
+     * before the next partition's (DESIGN.md §14).
+     */
+    /** @{ */
+
+    /** Fabric leg: move the bytes (with injected loss) and hop on. */
+    sim::Coro<void> fabricLeg(int src, int dst, Message *msg,
+                              sim::Trigger *acked);
+
+    /** Destination leg: enqueue, then ack back to @p ackPart. */
+    sim::Coro<void> deliverLeg(int dst, Message *msg, int ackPart,
+                               sim::Trigger *acked);
+
+    /** @} */
+
+    /**
+     * Cached obs hooks are only valid on the thread that owns the
+     * session; partition threads (whose thread-local session is
+     * null) must skip them.
+     */
+    bool obsLive() const;
 
     sim::Simulator &simulator;
     Network &network;
@@ -130,11 +170,32 @@ class MsgLayer
     obs::Counter *obsDrops = nullptr;
     obs::Counter *obsCorrupt = nullptr;
     obs::Histogram *obsAttempts = nullptr;
+
+    // Partitioned topology (setTopology). hostKeys[h] is advanced
+    // only by events executing on host h's partition (send posts and
+    // delivery acks), fabricKeys only on the fabric's.
+    bool partitioned = false;
+    int fabricPart = 0;
+    sim::Tick edgeLatency = 0;
+    std::vector<int> partOfHost;
+    std::vector<sim::KeyStream> hostKeys;
+    sim::KeyStream fabricKeys;
 };
 
 /**
  * Reusable all-to-all barrier for a fixed-size group. Completion is
  * charged a logarithmic (dissemination-style) latency.
+ *
+ * Two arrival protocols share the timing model. The legacy arrive()
+ * mutates shared round state directly and requires every participant
+ * on one partition. Once setTopology() declares a home partition and
+ * the participants' partitions, arrive(participant) instead posts a
+ * keyed arrival notification to the home across the declared edge;
+ * the home collects arrivals in deterministic key order and, when the
+ * round is full, posts keyed releases that land at exactly
+ * t_last + completionCost — the same tick the legacy path fires at —
+ * so the barrier synchronizes devices split across partitions without
+ * any shared coroutine frame crossing the cut (DESIGN.md §14).
  */
 class Barrier
 {
@@ -148,6 +209,26 @@ class Barrier
     /** Arrive and wait for the round to complete. */
     sim::Coro<void> arrive();
 
+    /**
+     * Partition-aware arrival for @p participant (0-based, stable).
+     * Falls back to the legacy protocol until setTopology() is
+     * called. Must execute on the participant's declared partition.
+     */
+    sim::Coro<void> arrive(int participant);
+
+    /**
+     * Declare the partitioned topology: the home partition that
+     * collects arrivals, the minimum cut-edge latency an arrival
+     * notification crosses, and each participant's partition.
+     * Allocates the round's key streams, so call order must be fixed
+     * at machine-construction time (Simulator::allocKeyStream).
+     * @p edgeLatency must not exceed the completion cost — the
+     * release posts with a margin of completionCost - edgeLatency,
+     * which conservative synchronization needs >= the lookahead.
+     */
+    void setTopology(int home, sim::Tick edgeLatency,
+                     std::vector<int> partitionOf);
+
     /** Rounds completed so far. */
     int generation() const { return gen; }
 
@@ -155,12 +236,29 @@ class Barrier
     static sim::Tick logCost(int n, sim::Tick per_step);
 
   private:
+    /** Home-partition side of one keyed arrival. */
+    void homeArrive(int participant, sim::Trigger *done);
+
     sim::Simulator &simulator;
     int expected;
     sim::Tick completionCost;
     int count = 0;
     int gen = 0;
     std::shared_ptr<sim::Trigger> current;
+
+    /** @name Partitioned mode (after setTopology) */
+    /** @{ */
+    bool partitioned = false;
+    int homePartition = 0;
+    sim::Tick edgeLatency = 0;
+    std::vector<int> partitionOf;
+    /** Per-participant arrival streams; advanced on the owner only. */
+    std::vector<sim::KeyStream> arriveKeys;
+    /** Release stream; advanced on the home partition only. */
+    sim::KeyStream releaseKeys;
+    /** Home-owned arrival log for the open round, in key order. */
+    std::vector<std::pair<int, sim::Trigger *>> arrivals;
+    /** @} */
 };
 
 /**

@@ -39,6 +39,7 @@
 #ifndef HOWSIM_NET_NETWORK_HH
 #define HOWSIM_NET_NETWORK_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -84,11 +85,26 @@ struct NetParams
     bus::XferPolicy xfer = bus::defaultXferPolicy();
 };
 
-/** Per-host traffic counters. */
+/**
+ * Per-host traffic counters. Atomic because under a partitioned plan
+ * a host's loopback deliveries count on its own partition while its
+ * fabric crossings count on the fabric's (MsgLayer::setTopology);
+ * readers only look after the partition threads have joined.
+ */
 struct HostTraffic
 {
-    std::uint64_t bytesSent = 0;
-    std::uint64_t bytesReceived = 0;
+    HostTraffic() = default;
+
+    /** Construction-time relocation only (the host vector is built
+     *  single-threaded, before any traffic flows). */
+    HostTraffic(HostTraffic &&other) noexcept
+        : bytesSent(other.bytesSent.load()),
+          bytesReceived(other.bytesReceived.load())
+    {
+    }
+
+    std::atomic<std::uint64_t> bytesSent{0};
+    std::atomic<std::uint64_t> bytesReceived{0};
 };
 
 /**

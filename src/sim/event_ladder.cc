@@ -173,21 +173,27 @@ void
 EventLadder::adoptBottom(bool knownSingleTick)
 {
     bottomPos = 0;
-    if (knownSingleTick) {
+    if (knownSingleTick && !explicitSeqs) {
         bottomSorted = true;
         return;
     }
     // A linear uniformity scan is cheaper than the make_heap + k
     // sift-downs it replaces whenever it succeeds, and touches the
-    // same cache lines make_heap was about to when it fails.
+    // same cache lines make_heap was about to when it fails. Once
+    // explicitly-sequenced entries exist, appends are no longer
+    // guaranteed seq-ascending, so the scan also verifies seq order
+    // before trusting the vector as a run.
     Tick first = bottom.front().when;
+    std::uint64_t prevSeq = bottom.front().seq;
     for (std::size_t i = 1; i < bottom.size(); ++i) {
-        if (bottom[i].when != first) {
+        if (bottom[i].when != first
+            || (explicitSeqs && bottom[i].seq < prevSeq)) {
             bottomSorted = false;
             std::make_heap(bottom.begin(), bottom.end(),
                            SchedAfter{});
             return;
         }
+        prevSeq = bottom[i].seq;
     }
     bottomSorted = true;
 }

@@ -85,8 +85,10 @@ class EventLadder
         }
         if (entry.when < bottomLimit) {
             if (bottomSorted) {
-                if (entry.when == bottom[bottomPos].when) {
-                    // Fresh schedules carry the largest seq yet, so
+                if (entry.when == bottom[bottomPos].when
+                    && entry.seq >= bottom.back().seq) {
+                    // Fresh schedules carry the largest seq yet (and
+                    // the guard admits only in-order keyed seqs), so
                     // appending keeps the run's drain order exact.
                     bottom.push_back(std::move(entry));
                     return;
@@ -150,6 +152,17 @@ class EventLadder
     /** Pre-size the far-future tier, where bulk loads land. */
     void reserve(std::size_t n) { top.reserve(n); }
 
+    /**
+     * Note that this queue has seen explicitly-sequenced entries
+     * (EventQueue::scheduleWithSeq). Those arrive in push order, not
+     * seq order, which voids the "bucket vectors are seq-ascending"
+     * invariant; adoptBottom() then verifies a promoted bucket before
+     * trusting it as a sorted run. Sticky for the queue's lifetime —
+     * keyed workloads stay keyed — so fresh-only queues keep the
+     * scan-free fast path.
+     */
+    void markExplicitSeqs() { explicitSeqs = true; }
+
     /** Tier occupancy snapshot, for obs probes and tests. */
     struct Occupancy
     {
@@ -202,6 +215,7 @@ class EventLadder
     void demoteSortedBottom();
 
     std::vector<SchedEntry> bottom; //!< min-heap (SchedAfter order)
+    bool explicitSeqs = false; //!< scheduleWithSeq was ever used
     bool bottomSorted = false; //!< bottom is a single-tick seq run
     std::size_t bottomPos = 0; //!< next run entry when bottomSorted
     Tick bottomLimit = 0; //!< bottom covers [0, bottomLimit)

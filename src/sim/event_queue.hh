@@ -70,6 +70,27 @@ class EventQueue
         schedule(when, Action(h));
     }
 
+    /**
+     * Schedule with an explicit sequence number instead of the fresh
+     * counter. This is the keyed-event entry point (DESIGN.md §14):
+     * the caller supplies a KeyStream-allocated seq in the
+     * kKeyedSeqBand so same-tick order is a property of the event,
+     * not of which queue it was scheduled into. The fresh counter is
+     * untouched — ordinary events keep their band (below 2^62) and
+     * drain first at any shared tick.
+     */
+    void
+    scheduleWithSeq(Tick when, std::uint64_t seq, Action action)
+    {
+        SchedEntry entry{when, seq, std::move(action)};
+        if (pol == SchedPolicy::Ladder) {
+            ladder.markExplicitSeqs();
+            ladder.push(std::move(entry));
+        } else {
+            heap.push(std::move(entry));
+        }
+    }
+
     /** True when no events remain. */
     bool
     empty() const

@@ -26,13 +26,13 @@
  * (components whose coroutine frames or shared state interleave must
  * execute on one thread), merges domains coupled by zero-latency
  * edges, and deals the resulting groups round-robin across the
- * requested partitions. The paper's three machine models currently
- * register as a single domain — their send paths share coroutine
- * frames across the device boundary — so they plan onto partition 0
- * and parallel mode is exercised end-to-end but degenerate; workloads
- * built from partition-homed processes (Simulator::spawnOn) fan out
- * for real. Splitting the machines' domains at the Bus/Network edges
- * is the follow-on this layer was shaped for.
+ * requested partitions. The paper's three machine models each
+ * declare one host/front-end domain (pinned to partition 0, where
+ * the thread-local obs session and fault scope live) plus one domain
+ * per device; the only cut-edge traffic is keyed handshakes whose
+ * minimum latencies come from the cost tables (DESIGN.md §14's
+ * domain maps). Workloads built from partition-homed processes
+ * (Simulator::spawnOn) fan out as well.
  */
 
 #ifndef HOWSIM_SIM_PARTITION_HH
@@ -62,6 +62,50 @@ int defaultPdesPartitions();
 /** Ceiling on HOWSIM_PDES (sanity bound, far above any host). */
 constexpr int maxPdesPartitions = 256;
 
+/**
+ * Sequence-number band for *keyed* events. Ordinary schedules draw
+ * fresh sequence numbers from their queue's counter, which makes
+ * same-tick order depend on *which queue* an event lands in — fine
+ * serially, wrong when a partition split moves the schedule site. A
+ * keyed event instead carries an explicit sequence number allocated
+ * from a KeyStream owned by the logical entity (a disk, a link, a
+ * barrier), so the same entity produces the same (tick, seq) pair no
+ * matter how the machine is partitioned. The band bit keeps the two
+ * populations ordered deterministically against each other: fresh
+ * counters never reach 2^62, so at a given tick every ordinary event
+ * runs before every keyed one, identically in serial and parallel.
+ */
+constexpr std::uint64_t kKeyedSeqBand = std::uint64_t{1} << 62;
+
+/**
+ * Deterministic allocator of keyed sequence numbers for one logical
+ * entity. Streams are handed out by Simulator::allocKeyStream() in
+ * construction order (so the assignment is identical across runs);
+ * each stream must only ever be advanced by its owning entity's
+ * events, which is what makes the counter sequence independent of
+ * thread interleaving. Key layout: band | stream << 36 | counter.
+ */
+class KeyStream
+{
+  public:
+    KeyStream() = default;
+
+    explicit KeyStream(std::uint64_t streamId)
+        : base(kKeyedSeqBand | (streamId << counterBits))
+    {
+    }
+
+    /** The next key; strictly increasing within the stream. */
+    std::uint64_t next() { return base | counter++; }
+
+    /** Bits reserved for the per-stream counter. */
+    static constexpr unsigned counterBits = 36;
+
+  private:
+    std::uint64_t base = kKeyedSeqBand;
+    std::uint64_t counter = 0;
+};
+
 /** Aggregate counters of one parallel run; see Simulator::pdesStats. */
 struct PdesStats
 {
@@ -72,6 +116,8 @@ struct PdesStats
     std::uint64_t wallNanos = 0;     //!< wall time inside run()
     /** Events executed by each partition (size = partitions). */
     std::vector<std::uint64_t> executedPerPartition;
+    /** Barrier wait per partition (size = partitions). */
+    std::vector<std::uint64_t> stallNanosPerPartition;
 
     /** Fraction of total partition-time spent waiting at barriers. */
     double
@@ -81,6 +127,20 @@ struct PdesStats
                        * static_cast<double>(partitions);
         return denom > 0 ? static_cast<double>(stallNanos) / denom
                          : 0.0;
+    }
+
+    /**
+     * Fraction of partition @p i's time spent waiting at barriers —
+     * the skew detector: one hot domain shows up as every *other*
+     * partition stalling near 1.
+     */
+    double
+    stallFractionOf(std::size_t i) const
+    {
+        if (i >= stallNanosPerPartition.size() || wallNanos == 0)
+            return 0.0;
+        return static_cast<double>(stallNanosPerPartition[i])
+               / static_cast<double>(wallNanos);
     }
 };
 

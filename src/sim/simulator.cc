@@ -84,6 +84,13 @@ struct Simulator::Pdes
         std::uint64_t executedRun = 0;
         Tick lastTick = 0;
         std::atomic<std::uint64_t> stallNanos{0};
+        /**
+         * executedRun published for cross-thread readers (the obs
+         * probes sample from partition 0). Stored by the owning
+         * thread once per window, so the hot drain loop keeps its
+         * plain counter.
+         */
+        std::atomic<std::uint64_t> executedPub{0};
     };
 
     Pdes(Simulator &s, SchedPolicy sched, int n) : barrier(n)
@@ -103,6 +110,8 @@ struct Simulator::Pdes
         }
         stats.partitions = n;
         stats.executedPerPartition.assign(
+            static_cast<std::size_t>(n), 0);
+        stats.stallNanosPerPartition.assign(
             static_cast<std::size_t>(n), 0);
     }
 
@@ -211,6 +220,30 @@ Simulator::Simulator(SchedPolicy sched, int pdesPartitions)
                     return static_cast<double>(pdes->stallSum());
                 },
                 this);
+            // Per-partition skew probes: event counts and stall time
+            // for each partition, so one hot domain is visible in
+            // traces as its peers stalling. Counters are published
+            // once per window (executedPub) or atomic (stallNanos).
+            for (int p = 0; p < pdes->nparts(); ++p) {
+                auto idx = static_cast<std::size_t>(p);
+                timeline.probe(
+                    strprintf("sim.pdes.part.%d.events", p),
+                    [this, idx] {
+                        return static_cast<double>(
+                            pdes->stats.executedPerPartition[idx]
+                            + pdes->parts[idx]->executedPub.load(
+                                std::memory_order_relaxed));
+                    },
+                    this);
+                timeline.probe(
+                    strprintf("sim.pdes.part.%d.stall_ns", p),
+                    [this, idx] {
+                        return static_cast<double>(
+                            pdes->parts[idx]->stallNanos.load(
+                                std::memory_order_relaxed));
+                    },
+                    this);
+            }
         }
     }
 }
@@ -339,6 +372,48 @@ Simulator::postCross(int partition, Tick when,
         when, std::move(action));
 }
 
+void
+Simulator::postKeyed(int partition, Tick when, std::uint64_t key,
+                     EventQueue::Action action)
+{
+    if (!(key & kKeyedSeqBand)) {
+        panic("postKeyed: key %llu is outside the keyed band "
+              "(allocate keys from Simulator::allocKeyStream())",
+              static_cast<unsigned long long>(key));
+    }
+    if (!pdes) {
+        if (when < currentTick) {
+            panic("postKeyed: tick %llu is in the past (now %llu)",
+                  static_cast<unsigned long long>(when),
+                  static_cast<unsigned long long>(currentTick));
+        }
+        queue.scheduleWithSeq(when, key, std::move(action));
+        return;
+    }
+    Pdes &P = *pdes;
+    if (partition < 0 || partition >= P.nparts()) {
+        panic("postKeyed: partition %d out of range (have %d)",
+              partition, P.nparts());
+    }
+    PdesCtx *c = tlsPdesCtx;
+    if (c && c->sim == this && c->part != partition) {
+        // Park in the executing partition's outbox with the key as
+        // the entry's seq; the boundary keeps it through the merge.
+        Pdes::Part &src = *P.parts[static_cast<std::size_t>(c->part)];
+        src.outbox.push_back(
+            CrossEntry{when, key, c->part, partition,
+                       std::move(action)});
+        return;
+    }
+    if (c && c->sim == this && when < *c->clock) {
+        panic("postKeyed: tick %llu is in the past (now %llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(*c->clock));
+    }
+    P.parts[static_cast<std::size_t>(partition)]->q->scheduleWithSeq(
+        when, key, std::move(action));
+}
+
 int
 Simulator::partitions() const
 {
@@ -376,6 +451,11 @@ Simulator::pdesStats() const
         return PdesStats{};
     PdesStats out = pdes->stats;
     out.stallNanos = pdes->stallSum();
+    for (std::size_t p = 0; p < pdes->parts.size(); ++p) {
+        out.stallNanosPerPartition[p]
+            = pdes->parts[p]->stallNanos.load(
+                std::memory_order_relaxed);
+    }
     return out;
 }
 
@@ -571,6 +651,8 @@ Simulator::partitionLoop(int p, Tick until)
             std::lock_guard<std::mutex> lock(P.procMutex);
             P.execErrors.push_back(std::current_exception());
         }
+        part.executedPub.store(part.executedRun,
+                               std::memory_order_relaxed);
         auto waitStart = std::chrono::steady_clock::now();
         bool ranBoundary = P.barrier.arriveAndWait(
             [this, until] { windowBoundary(until); });
@@ -619,8 +701,16 @@ Simulator::windowBoundary(Tick until)
                       static_cast<unsigned long long>(P.winLast),
                       static_cast<unsigned long long>(P.lookahead));
             }
-            P.parts[static_cast<std::size_t>(e.target)]->q->schedule(
-                e.when, std::move(e.action));
+            EventQueue *tq
+                = P.parts[static_cast<std::size_t>(e.target)]->q;
+            if (e.seq & kKeyedSeqBand) {
+                // Keyed entries keep their explicit seq so same-tick
+                // order matches the serial schedule exactly.
+                tq->scheduleWithSeq(e.when, e.seq,
+                                    std::move(e.action));
+            } else {
+                tq->schedule(e.when, std::move(e.action));
+            }
         }
         P.stats.mailboxEvents += m.size();
         m.clear();
@@ -667,6 +757,7 @@ Simulator::runParallel(Tick until)
 
     for (auto &part : P.parts) {
         part->executedRun = 0;
+        part->executedPub.store(0, std::memory_order_relaxed);
         part->lastTick = 0;
     }
     P.execErrors.clear();

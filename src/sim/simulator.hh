@@ -151,6 +151,29 @@ class Simulator
     void postCross(int partition, Tick when, EventQueue::Action action);
 
     /**
+     * Keyed postCross: like postCross(), but the event carries the
+     * explicit sequence number @p key (from a KeyStream allocated
+     * with allocKeyStream()) instead of drawing a fresh one from the
+     * target queue. Because the (tick, key) pair is a property of the
+     * posting entity, same-tick order is identical no matter how the
+     * machine is partitioned — this is what makes the machines'
+     * cross-device handshakes bit-identical between serial and any
+     * HOWSIM_PDES setting (DESIGN.md §14). Serial and same-partition
+     * calls schedule directly with the key; cross-partition calls
+     * park in the outbox and keep the key through the merge.
+     */
+    void postKeyed(int partition, Tick when, std::uint64_t key,
+                   EventQueue::Action action);
+
+    /**
+     * Allocate the next deterministic key stream. Must be called at
+     * construction time (machine/task-runner setup, before run()), in
+     * a fixed order independent of partitioning — stream identity is
+     * part of the event order.
+     */
+    KeyStream allocKeyStream() { return KeyStream(nextKeyStream++); }
+
+    /**
      * Run until the event queue drains or the clock passes @p until.
      * Returns the final simulated time. Rethrows the first exception
      * escaping a process that no joiner observed.
@@ -226,6 +249,7 @@ class Simulator
     std::unordered_map<Process *, ProcessRef> processes;
     std::vector<std::exception_ptr> detachedErrors;
     std::uint64_t executed = 0;
+    std::uint64_t nextKeyStream = 0;
     Simulator *previous = nullptr;
 
     /** Parallel-DES state; null under the serial executive. */

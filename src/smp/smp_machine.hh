@@ -161,12 +161,34 @@ class SmpMachine
 
     /**
      * Register this machine's components and interconnect edges with
-     * a partition planner. Boards, I/O subsystem and disk farm share
-     * one coroutine domain (an io() frame spans CPU, XIO, FC and
-     * drive state), so the plan co-locates them; edges carry the
-     * buses' minimum grant latencies (DESIGN.md §14).
+     * a partition planner. Boards, XIO and the FC controller form
+     * the host domain (worker coroutines span CPU, queue and bus
+     * state freely); each farm drive is its own domain, reached only
+     * through RawDisk's split handshake, whose cut edges carry the
+     * smaller of the issue and completion flight latencies
+     * (DESIGN.md §14). Records the component ids for adoptPlan().
      */
-    void describePartitions(sim::PartitionGraph &graph) const;
+    void describePartitions(sim::PartitionGraph &graph);
+
+    /**
+     * Adopt a partition plan produced from describePartitions()'s
+     * graph: homes each RawDisk's split endpoints on the planned
+     * partitions. Must be called with plans from this machine's own
+     * graph (component ids match).
+     */
+    void adoptPlan(const sim::PartitionGraph::Plan &plan);
+
+    /** Partition of the host domain under the adopted plan. */
+    int hostPartition() const { return hostPart; }
+
+    /** Partition of drive @p d under the adopted plan. */
+    int
+    diskPartition(int d) const
+    {
+        return diskParts.empty()
+                   ? hostPart
+                   : diskParts[static_cast<std::size_t>(d)];
+    }
 
   private:
     friend class SharedQueue;
@@ -202,6 +224,13 @@ class SmpMachine
     int stopVictim = -1;
     sim::Tick stopAt = 0;
     bool stopSeen = false;
+
+    // Partition-plan bookkeeping: component ids recorded by
+    // describePartitions, partitions adopted from the plan.
+    int fcComp = -1;
+    std::vector<int> diskComps;
+    int hostPart = 0;
+    std::vector<int> diskParts;
 };
 
 } // namespace howsim::smp

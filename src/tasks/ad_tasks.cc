@@ -56,6 +56,12 @@ AdTaskRunner::AdTaskRunner(sim::Simulator &s,
                            workload::CostModel costs)
     : simulator(s), machine(machine_), cm(costs)
 {
+    // Coordination key streams, allocated in fixed order so stream
+    // identity is independent of how the machine is partitioned.
+    doneKeys.reserve(static_cast<std::size_t>(machine.size()));
+    for (int d = 0; d < machine.size(); ++d)
+        doneKeys.push_back(s.allocKeyStream());
+    goKeys = s.allocKeyStream();
     if (fault::Injector *inj = fault::current()) {
         const fault::FaultPlan &plan = inj->plan();
         if (plan.stopConfigured() && plan.stopDisk < machine.size()) {
@@ -71,7 +77,8 @@ Coro<void>
 AdTaskRunner::computeIn(int d, const char *bucket, Tick ref_ticks)
 {
     Tick scaled = machine.cpu(d).scaled(ref_ticks);
-    result.buckets.add(bucket, sim::toSeconds(scaled));
+    shards[static_cast<std::size_t>(d)].buckets.add(
+        bucket, sim::toSeconds(scaled));
     // Disklet execution spans (per compute chunk) are high-volume,
     // so they are fine-detail only.
     obs::Session *sess = obs::session();
@@ -120,7 +127,7 @@ Coro<void>
 AdTaskRunner::emitToFrontend(int d, std::uint64_t bytes,
                              std::uint64_t *pending, bool flush)
 {
-    result.outputBytes += bytes;
+    shards[static_cast<std::size_t>(d)].outputBytes += bytes;
     *pending += bytes;
     while (*pending >= kBlock) {
         co_await sendFe(d, AdBlock{.bytes = kBlock});
@@ -592,7 +599,7 @@ AdTaskRunner::joinWorker(int d, const DatasetSpec &data)
             }
         }
         co_await collector->join();
-        co_await barrier();
+        co_await barrier(d);
     }
 
     // Phase 3: per-partition build/probe and result write-back.
@@ -700,7 +707,7 @@ AdTaskRunner::dcubeWorker(int d, const DatasetSpec &data)
             }
             write_off += share;
         }
-        co_await barrier();
+        co_await barrier(d);
     }
 
     // Client-facing summary aggregates to the front-end (~200 MB).
@@ -806,7 +813,7 @@ AdTaskRunner::mviewWorker(int d, const DatasetSpec &data)
             }
         }
         co_await collector->join();
-        co_await barrier();
+        co_await barrier(d);
     }
 
     // Phase 2: scan the base data, shipping matching rows to the
@@ -855,7 +862,7 @@ AdTaskRunner::mviewWorker(int d, const DatasetSpec &data)
             }
         }
         co_await collector->join();
-        co_await barrier();
+        co_await barrier(d);
     }
 
     // Phase 3: rewrite the derived relations with the updates
@@ -880,36 +887,64 @@ AdTaskRunner::mviewWorker(int d, const DatasetSpec &data)
     co_await sendDoneMarker(d);
 }
 
-Coro<void>
-AdTaskRunner::sortCoordinator(const DatasetSpec &data)
+void
+AdTaskRunner::notifySortDone(int d, int *remaining, sim::Trigger *done)
 {
-    // Two phases; this coordinator records their elapsed times. The
-    // obs phase spans bracket exactly the interval the buckets
-    // measure, so span durations equal the Figure 3 numbers.
+    simulator.postKeyed(machine.frontendPartition(),
+                        simulator.now() + machine.crossLatency(),
+                        doneKeys[static_cast<std::size_t>(d)].next(),
+                        [remaining, done] {
+                            if (--*remaining == 0)
+                                done->fire();
+                        });
+}
+
+Coro<void>
+AdTaskRunner::runAndNotify(Coro<void> body, int d, int *remaining,
+                           sim::Trigger *done)
+{
+    co_await body;
+    notifySortDone(d, remaining, done);
+}
+
+Coro<void>
+AdTaskRunner::sortPhase2Worker(int d, const DatasetSpec &data)
+{
+    co_await sortGo[static_cast<std::size_t>(d)]->wait();
+    co_await sortMergeWorker(d, data);
+    notifySortDone(d, &sortP2Remaining, &sortP2Done);
+}
+
+Coro<void>
+AdTaskRunner::sortCoordinator()
+{
+    // Two phases; this coordinator records their elapsed times as
+    // observed from the front-end: a phase ends when the last
+    // worker's keyed done-notification lands here, one crossLatency()
+    // hop after the work finished — identically under serial and
+    // parallel execution. The obs phase spans bracket exactly the
+    // intervals the buckets measure, so span durations equal the
+    // Figure 3 numbers.
     const int n = size();
     Tick t0 = simulator.now();
     {
         obs::Span span("phases", "p1", "phase");
-        std::vector<sim::ProcessRef> phase1;
-        for (int d = 0; d < n; ++d) {
-            phase1.push_back(simulator.spawn(
-                sortPartitionWorker(d, data), "sort-part"));
-            phase1.push_back(simulator.spawn(sortCollector(d, data),
-                                             "sort-collect"));
-        }
-        co_await sim::joinAll(phase1);
+        co_await sortP1Done.wait();
     }
     result.buckets.add("p1.elapsed",
                        sim::toSeconds(simulator.now() - t0));
     Tick t1 = simulator.now();
     {
         obs::Span span("phases", "p2", "phase");
-        std::vector<sim::ProcessRef> phase2;
         for (int d = 0; d < n; ++d) {
-            phase2.push_back(simulator.spawn(sortMergeWorker(d, data),
-                                             "sort-merge"));
+            sim::Trigger *go
+                = sortGo[static_cast<std::size_t>(d)].get();
+            simulator.postKeyed(machine.drivePartition(d),
+                                simulator.now()
+                                    + machine.crossLatency(),
+                                goKeys.next(), [go] { go->fire(); });
         }
-        co_await sim::joinAll(phase2);
+        co_await sortP2Done.wait();
     }
     result.buckets.add("p2.elapsed",
                        sim::toSeconds(simulator.now() - t1));
@@ -942,8 +977,10 @@ std::vector<sim::ProcessRef>
 AdTaskRunner::launch(TaskKind kind, const DatasetSpec &data)
 {
     result = TaskResult{};
+    shards.assign(static_cast<std::size_t>(size()), TaskResult{});
     doneMarkers = 0;
     const int n = size();
+    const int fePart = machine.frontendPartition();
     std::vector<sim::ProcessRef> procs;
 
     Tick fe_merge_per_byte = 0;
@@ -952,58 +989,113 @@ AdTaskRunner::launch(TaskKind kind, const DatasetSpec &data)
         fe_merge_per_byte = cm.groupbyHash / (2 * data.tupleBytes);
     }
 
+    // Every worker is homed to its device's partition here, before
+    // run() starts (spawning across partitions mid-run is not
+    // supported). Under the serial executive, co-located plans and
+    // traffic streams every partition below resolves to 0.
     switch (kind) {
       case TaskKind::Select:
       case TaskKind::Aggregate:
       case TaskKind::GroupBy:
         for (int d = 0; d < n; ++d) {
-            procs.push_back(simulator.spawn(scanWorker(d, data, kind),
-                                            "scan-worker"));
+            procs.push_back(
+                simulator.spawnOn(machine.drivePartition(d),
+                                  scanWorker(d, data, kind),
+                                  "scan-worker"));
         }
         procs.push_back(
-            simulator.spawn(frontendConsumer(fe_merge_per_byte),
-                            "fe"));
+            simulator.spawnOn(fePart,
+                              frontendConsumer(fe_merge_per_byte),
+                              "fe"));
         if (stopInj) {
+            // Fail-stop plans force partition co-location, so the
+            // monitor may join recovery workers freely.
             procs.push_back(simulator.spawn(failStopMonitor(data,
                                                             kind),
                                             "failstop-monitor"));
         }
         break;
       case TaskKind::Sort:
-        procs.push_back(simulator.spawn(sortCoordinator(data),
-                                        "sort-coordinator"));
+        sortP1Remaining = 2 * n;
+        sortP2Remaining = n;
+        sortP1Done.reset();
+        sortP2Done.reset();
+        sortGo.clear();
+        for (int d = 0; d < n; ++d)
+            sortGo.push_back(std::make_unique<sim::Trigger>());
+        for (int d = 0; d < n; ++d) {
+            int part = machine.drivePartition(d);
+            procs.push_back(simulator.spawnOn(
+                part,
+                runAndNotify(sortPartitionWorker(d, data), d,
+                             &sortP1Remaining, &sortP1Done),
+                "sort-part"));
+            procs.push_back(simulator.spawnOn(
+                part,
+                runAndNotify(sortCollector(d, data), d,
+                             &sortP1Remaining, &sortP1Done),
+                "sort-collect"));
+            procs.push_back(simulator.spawnOn(part,
+                                              sortPhase2Worker(d,
+                                                               data),
+                                              "sort-merge"));
+        }
+        procs.push_back(simulator.spawnOn(fePart, sortCoordinator(),
+                                          "sort-coordinator"));
         break;
       case TaskKind::Join:
         for (int d = 0; d < n; ++d) {
-            procs.push_back(simulator.spawn(joinWorker(d, data),
-                                            "join-worker"));
+            procs.push_back(
+                simulator.spawnOn(machine.drivePartition(d),
+                                  joinWorker(d, data),
+                                  "join-worker"));
         }
-        procs.push_back(simulator.spawn(frontendConsumer(0), "fe"));
+        procs.push_back(simulator.spawnOn(fePart, frontendConsumer(0),
+                                          "fe"));
         break;
       case TaskKind::Datacube:
         for (int d = 0; d < n; ++d) {
-            procs.push_back(simulator.spawn(dcubeWorker(d, data),
-                                            "dcube-worker"));
+            procs.push_back(
+                simulator.spawnOn(machine.drivePartition(d),
+                                  dcubeWorker(d, data),
+                                  "dcube-worker"));
         }
-        procs.push_back(simulator.spawn(frontendConsumer(0), "fe"));
+        procs.push_back(simulator.spawnOn(fePart, frontendConsumer(0),
+                                          "fe"));
         break;
       case TaskKind::Dmine:
         for (int d = 0; d < n; ++d) {
-            procs.push_back(simulator.spawn(dmineWorker(d, data),
-                                            "dmine-worker"));
+            procs.push_back(
+                simulator.spawnOn(machine.drivePartition(d),
+                                  dmineWorker(d, data),
+                                  "dmine-worker"));
         }
-        procs.push_back(simulator.spawn(dmineFrontend(data),
-                                        "dmine-fe"));
+        procs.push_back(simulator.spawnOn(fePart, dmineFrontend(data),
+                                          "dmine-fe"));
         break;
       case TaskKind::Mview:
         for (int d = 0; d < n; ++d) {
-            procs.push_back(simulator.spawn(mviewWorker(d, data),
-                                            "mview-worker"));
+            procs.push_back(
+                simulator.spawnOn(machine.drivePartition(d),
+                                  mviewWorker(d, data),
+                                  "mview-worker"));
         }
-        procs.push_back(simulator.spawn(frontendConsumer(0), "fe"));
+        procs.push_back(simulator.spawnOn(fePart, frontendConsumer(0),
+                                          "fe"));
         break;
     }
     return procs;
+}
+
+void
+AdTaskRunner::foldShards()
+{
+    // Drive order is fixed, so the floating-point bucket sums are
+    // identical no matter which partitions the shards were filled on.
+    for (const TaskResult &shard : shards) {
+        result.buckets.merge(shard.buckets);
+        result.outputBytes += shard.outputBytes;
+    }
 }
 
 TaskResult
@@ -1013,6 +1105,7 @@ AdTaskRunner::run(TaskKind kind, const DatasetSpec &data)
     obs::Span taskSpan("task", workload::taskName(kind), "task");
     launch(kind, data);
     simulator.run();
+    foldShards();
     result.elapsedTicks = simulator.now() - start;
     result.interconnectBytes = machine.interconnect().stats().bytes;
     return result;
@@ -1024,6 +1117,7 @@ AdTaskRunner::runConcurrent(TaskKind kind, const DatasetSpec &data)
     Tick start = simulator.now();
     auto procs = launch(kind, data);
     co_await sim::joinAll(std::move(procs));
+    foldShards();
     result.elapsedTicks = simulator.now() - start;
     // The loop is shared across in-flight queries; bytes stay on the
     // machine-wide counter rather than being mis-attributed here.

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "diskos/active_disk_array.hh"
@@ -138,12 +139,40 @@ class AdTaskRunner
                                 const workload::DatasetSpec &data);
     sim::Coro<void> mviewWorker(int d,
                                 const workload::DatasetSpec &data);
-    sim::Coro<void> sortCoordinator(const workload::DatasetSpec &data);
+    sim::Coro<void> sortCoordinator();
     sim::Coro<void> dmineFrontend(const workload::DatasetSpec &data);
+    /** @} */
+
+    /** @name Partitioned sort coordination (DESIGN.md §14)
+     *
+     * The two-phase sort can no longer be driven by a coordinator
+     * that spawns and joins workers across the device boundary
+     * (cross-partition joins are unsupported). Instead launch()
+     * pre-spawns every phase's workers on their drive partitions —
+     * phase 2 parked on a per-drive go trigger — and the front-end
+     * coordinator counts keyed done-notifications and broadcasts the
+     * phase-2 go, one crossLatency() hop each way, identically under
+     * serial and parallel execution.
+     */
+    /** @{ */
+
+    /** Post a keyed done-notification from drive @p d's partition. */
+    void notifySortDone(int d, int *remaining, sim::Trigger *done);
+
+    /** Run @p body, then notify the front-end coordinator. */
+    sim::Coro<void> runAndNotify(sim::Coro<void> body, int d,
+                                 int *remaining, sim::Trigger *done);
+
+    /** Park on the phase-2 go trigger, then merge and notify. */
+    sim::Coro<void> sortPhase2Worker(int d,
+                                     const workload::DatasetSpec &data);
     /** @} */
 
     sim::Coro<void> computeIn(int d, const char *bucket,
                               sim::Tick ref_ticks);
+
+    /** Fold the per-drive shards into `result`, in drive order. */
+    void foldShards();
 
     /** Spawn the disklet set for @p kind; shared by run paths. */
     std::vector<sim::ProcessRef>
@@ -181,7 +210,11 @@ class AdTaskRunner
         return machine.frontendInbox(stream);
     }
 
-    sim::Coro<void> barrier() { return machine.barrier(stream); }
+    sim::Coro<void>
+    barrier(int d)
+    {
+        return machine.barrier(d, stream);
+    }
 
     /** This instance's share of the per-drive disklet memory. */
     std::uint64_t
@@ -199,6 +232,30 @@ class AdTaskRunner
     diskos::ActiveDiskArray &machine;
     workload::CostModel cm;
     TaskResult result;
+
+    /**
+     * Per-drive result shards: a worker homed on drive d's partition
+     * writes only shards[d]; run()/runConcurrent fold them into
+     * `result` in drive order after the run, so the floating-point
+     * bucket sums are identical under every HOWSIM_PDES setting.
+     * Front-end writers touch `result` directly — the front-end
+     * domain is always partition 0, the calling thread.
+     */
+    std::vector<TaskResult> shards;
+
+    // Keyed coordination streams, allocated in fixed order at
+    // construction: doneKeys[d] is advanced only on drive d's
+    // partition, goKeys only on the front-end.
+    std::vector<sim::KeyStream> doneKeys;
+    sim::KeyStream goKeys;
+
+    // Sort-phase coordination state, reset by each launch().
+    int sortP1Remaining = 0;
+    int sortP2Remaining = 0;
+    sim::Trigger sortP1Done;
+    sim::Trigger sortP2Done;
+    std::vector<std::unique_ptr<sim::Trigger>> sortGo;
+
     int doneMarkers = 0;
     std::uint64_t shuffleRoundRobin = 0;
     int stream = 0;

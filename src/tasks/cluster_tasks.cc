@@ -59,6 +59,12 @@ ClusterTaskRunner::ClusterTaskRunner(sim::Simulator &s,
                                      workload::CostModel costs)
     : simulator(s), machine(machine_), cm(costs)
 {
+    // Coordination key streams, in fixed order (stream identity is
+    // part of the deterministic event order, DESIGN.md §14).
+    doneKeys.reserve(static_cast<std::size_t>(machine.size()));
+    for (int n = 0; n < machine.size(); ++n)
+        doneKeys.push_back(s.allocKeyStream());
+    goKeys = s.allocKeyStream();
     if (fault::Injector *inj = fault::current()) {
         const fault::FaultPlan &plan = inj->plan();
         if (plan.stopConfigured() && plan.stopDisk < machine.size()) {
@@ -75,7 +81,8 @@ ClusterTaskRunner::computeIn(int node, const char *bucket,
                              Tick ref_ticks)
 {
     Tick scaled = machine.cpu(node).scaled(ref_ticks);
-    result.buckets.add(bucket, sim::toSeconds(scaled));
+    shards[static_cast<std::size_t>(node)].buckets.add(
+        bucket, sim::toSeconds(scaled));
     // Per-chunk host compute spans are high-volume: fine-detail only.
     obs::Session *sess = obs::session();
     if (sess && sess->fine()) {
@@ -124,7 +131,7 @@ Coro<void>
 ClusterTaskRunner::emitToFrontend(int node, std::uint64_t bytes,
                                   std::uint64_t *pending, bool flush)
 {
-    result.outputBytes += bytes;
+    shards[static_cast<std::size_t>(node)].outputBytes += bytes;
     *pending += bytes;
     while (*pending >= kBlock) {
         co_await msgSend(
@@ -583,7 +590,7 @@ ClusterTaskRunner::joinWorker(int node, const DatasetSpec &data)
         }
         co_await broadcastDone(node, tag);
         co_await collector->join();
-        co_await barrier();
+        co_await barrier(node);
     }
 
     const std::uint64_t parts = plan.partitionsPerDevice;
@@ -690,7 +697,7 @@ ClusterTaskRunner::dcubeWorker(int node, const DatasetSpec &data)
             }
             write_off += share;
         }
-        co_await barrier();
+        co_await barrier(node);
     }
 
     std::uint64_t pending = 0;
@@ -816,7 +823,7 @@ ClusterTaskRunner::mviewWorker(int node, const DatasetSpec &data)
         }
         co_await broadcastDone(node, kData);
         co_await collector->join();
-        co_await barrier();
+        co_await barrier(node);
     }
 
     // Phase 2: scan base data; ship matching rows to view owners.
@@ -848,7 +855,7 @@ ClusterTaskRunner::mviewWorker(int node, const DatasetSpec &data)
         }
         co_await broadcastDone(node, kDataPhase2);
         co_await collector->join();
-        co_await barrier();
+        co_await barrier(node);
     }
 
     // Phase 3: rewrite the derived relations.
@@ -871,8 +878,37 @@ ClusterTaskRunner::mviewWorker(int node, const DatasetSpec &data)
                      feDoneMessage());
 }
 
+void
+ClusterTaskRunner::notifySortDone(int node, int *remaining,
+                                  sim::Trigger *done)
+{
+    simulator.postKeyed(machine.frontendPartition(),
+                        simulator.now() + machine.crossLatency(),
+                        doneKeys[static_cast<std::size_t>(node)].next(),
+                        [remaining, done] {
+                            if (--*remaining == 0)
+                                done->fire();
+                        });
+}
+
 Coro<void>
-ClusterTaskRunner::sortCoordinator(const DatasetSpec &data)
+ClusterTaskRunner::runAndNotify(Coro<void> body, int node,
+                                int *remaining, sim::Trigger *done)
+{
+    co_await body;
+    notifySortDone(node, remaining, done);
+}
+
+Coro<void>
+ClusterTaskRunner::sortPhase2Worker(int node, const DatasetSpec &data)
+{
+    co_await sortGo[static_cast<std::size_t>(node)]->wait();
+    co_await sortMergeWorker(node, data);
+    notifySortDone(node, &sortP2Remaining, &sortP2Done);
+}
+
+Coro<void>
+ClusterTaskRunner::sortCoordinator()
 {
     // The obs phase spans bracket exactly the interval the buckets
     // measure, so span durations equal the Figure 3 numbers.
@@ -880,26 +916,22 @@ ClusterTaskRunner::sortCoordinator(const DatasetSpec &data)
     Tick t0 = simulator.now();
     {
         obs::Span span("phases", "p1", "phase");
-        std::vector<sim::ProcessRef> phase1;
-        for (int i = 0; i < n; ++i) {
-            phase1.push_back(simulator.spawn(
-                sortPartitionWorker(i, data), "sort-part"));
-            phase1.push_back(simulator.spawn(sortCollector(i, data),
-                                             "sort-collect"));
-        }
-        co_await sim::joinAll(phase1);
+        co_await sortP1Done.wait();
     }
     result.buckets.add("p1.elapsed",
                        sim::toSeconds(simulator.now() - t0));
     Tick t1 = simulator.now();
     {
         obs::Span span("phases", "p2", "phase");
-        std::vector<sim::ProcessRef> phase2;
-        for (int i = 0; i < n; ++i) {
-            phase2.push_back(simulator.spawn(sortMergeWorker(i, data),
-                                             "sort-merge"));
+        for (int node = 0; node < n; ++node) {
+            sim::Trigger *go
+                = sortGo[static_cast<std::size_t>(node)].get();
+            simulator.postKeyed(machine.nodePartition(node),
+                                simulator.now()
+                                    + machine.crossLatency(),
+                                goKeys.next(), [go] { go->fire(); });
         }
-        co_await sim::joinAll(phase2);
+        co_await sortP2Done.wait();
     }
     result.buckets.add("p2.elapsed",
                        sim::toSeconds(simulator.now() - t1));
@@ -939,8 +971,10 @@ std::vector<sim::ProcessRef>
 ClusterTaskRunner::launch(TaskKind kind, const DatasetSpec &data)
 {
     result = TaskResult{};
+    shards.assign(static_cast<std::size_t>(size()), TaskResult{});
     doneMarkers = 0;
     const int n = size();
+    const int fePart = machine.frontendPartition();
     std::vector<sim::ProcessRef> procs;
 
     Tick fe_merge_per_byte = 0;
@@ -952,53 +986,104 @@ ClusterTaskRunner::launch(TaskKind kind, const DatasetSpec &data)
       case TaskKind::Aggregate:
       case TaskKind::GroupBy:
         for (int i = 0; i < n; ++i) {
-            procs.push_back(simulator.spawn(scanWorker(i, data, kind),
-                                            "scan-worker"));
+            procs.push_back(
+                simulator.spawnOn(machine.nodePartition(i),
+                                  scanWorker(i, data, kind),
+                                  "scan-worker"));
         }
         procs.push_back(
-            simulator.spawn(frontendConsumer(fe_merge_per_byte),
-                            "fe"));
+            simulator.spawnOn(fePart,
+                              frontendConsumer(fe_merge_per_byte),
+                              "fe"));
         if (stopInj) {
+            // Fail-stop plans force partition co-location, so the
+            // monitor may join recovery workers freely.
             procs.push_back(simulator.spawn(failStopMonitor(data,
                                                             kind),
                                             "failstop-monitor"));
         }
         break;
       case TaskKind::Sort:
-        procs.push_back(simulator.spawn(sortCoordinator(data),
-                                        "sort-coordinator"));
+        sortP1Remaining = 2 * n;
+        sortP2Remaining = n;
+        sortP1Done.reset();
+        sortP2Done.reset();
+        sortGo.clear();
+        for (int i = 0; i < n; ++i)
+            sortGo.push_back(std::make_unique<sim::Trigger>());
+        for (int i = 0; i < n; ++i) {
+            int part = machine.nodePartition(i);
+            procs.push_back(simulator.spawnOn(
+                part,
+                runAndNotify(sortPartitionWorker(i, data), i,
+                             &sortP1Remaining, &sortP1Done),
+                "sort-part"));
+            procs.push_back(simulator.spawnOn(
+                part,
+                runAndNotify(sortCollector(i, data), i,
+                             &sortP1Remaining, &sortP1Done),
+                "sort-collect"));
+            procs.push_back(simulator.spawnOn(part,
+                                              sortPhase2Worker(i,
+                                                               data),
+                                              "sort-merge"));
+        }
+        procs.push_back(simulator.spawnOn(fePart, sortCoordinator(),
+                                          "sort-coordinator"));
         break;
       case TaskKind::Join:
         for (int i = 0; i < n; ++i) {
-            procs.push_back(simulator.spawn(joinWorker(i, data),
-                                            "join-worker"));
+            procs.push_back(
+                simulator.spawnOn(machine.nodePartition(i),
+                                  joinWorker(i, data),
+                                  "join-worker"));
         }
-        procs.push_back(simulator.spawn(frontendConsumer(0), "fe"));
+        procs.push_back(simulator.spawnOn(fePart, frontendConsumer(0),
+                                          "fe"));
         break;
       case TaskKind::Datacube:
         for (int i = 0; i < n; ++i) {
-            procs.push_back(simulator.spawn(dcubeWorker(i, data),
-                                            "dcube-worker"));
+            procs.push_back(
+                simulator.spawnOn(machine.nodePartition(i),
+                                  dcubeWorker(i, data),
+                                  "dcube-worker"));
         }
-        procs.push_back(simulator.spawn(frontendConsumer(0), "fe"));
+        procs.push_back(simulator.spawnOn(fePart, frontendConsumer(0),
+                                          "fe"));
         break;
       case TaskKind::Dmine:
         for (int i = 0; i < n; ++i) {
-            procs.push_back(simulator.spawn(dmineWorker(i, data),
-                                            "dmine-worker"));
+            procs.push_back(
+                simulator.spawnOn(machine.nodePartition(i),
+                                  dmineWorker(i, data),
+                                  "dmine-worker"));
         }
-        procs.push_back(simulator.spawn(dmineFrontend(data),
-                                        "dmine-fe"));
+        procs.push_back(simulator.spawnOn(fePart, dmineFrontend(data),
+                                          "dmine-fe"));
         break;
       case TaskKind::Mview:
         for (int i = 0; i < n; ++i) {
-            procs.push_back(simulator.spawn(mviewWorker(i, data),
-                                            "mview-worker"));
+            procs.push_back(
+                simulator.spawnOn(machine.nodePartition(i),
+                                  mviewWorker(i, data),
+                                  "mview-worker"));
         }
-        procs.push_back(simulator.spawn(frontendConsumer(0), "fe"));
+        procs.push_back(simulator.spawnOn(fePart, frontendConsumer(0),
+                                          "fe"));
         break;
     }
     return procs;
+}
+
+void
+ClusterTaskRunner::foldShards()
+{
+    // Node order is fixed, so the floating-point bucket sums are
+    // identical no matter which partitions the shards were filled on.
+    for (const TaskResult &shard : shards) {
+        result.buckets.merge(shard.buckets);
+        result.outputBytes += shard.outputBytes;
+    }
 }
 
 TaskResult
@@ -1008,6 +1093,7 @@ ClusterTaskRunner::run(TaskKind kind, const DatasetSpec &data)
     obs::Span taskSpan("task", workload::taskName(kind), "task");
     launch(kind, data);
     simulator.run();
+    foldShards();
     result.elapsedTicks = simulator.now() - start;
     result.interconnectBytes = machine.network().totalBytes();
     return result;
@@ -1019,6 +1105,7 @@ ClusterTaskRunner::runConcurrent(TaskKind kind, const DatasetSpec &data)
     Tick start = simulator.now();
     auto procs = launch(kind, data);
     co_await sim::joinAll(std::move(procs));
+    foldShards();
     result.elapsedTicks = simulator.now() - start;
     // The fabric is shared across in-flight queries; bytes stay on
     // the machine-wide counter rather than being mis-attributed here.

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "arch/cluster_machine.hh"
@@ -134,11 +135,39 @@ class ClusterTaskRunner
                                           std::uint64_t bytes);
     sim::Coro<void> mviewWorker(int node,
                                 const workload::DatasetSpec &data);
-    sim::Coro<void> sortCoordinator(const workload::DatasetSpec &data);
+    sim::Coro<void> sortCoordinator();
     sim::Coro<void> dmineFrontend(const workload::DatasetSpec &data);
+
+    /** @name Partitioned sort coordination (DESIGN.md §14)
+     *
+     * The two-phase sort can no longer be driven by a coordinator
+     * that spawns and joins workers across the node boundary
+     * (cross-partition joins are unsupported). Instead launch()
+     * pre-spawns every phase's workers on their node partitions —
+     * phase 2 parked on a per-node go trigger — and the front-end
+     * coordinator counts keyed done-notifications and broadcasts the
+     * phase-2 go, one crossLatency() hop each way, identically under
+     * serial and parallel execution.
+     */
+    /** @{ */
+
+    /** Post a keyed done-notification from node @p n's partition. */
+    void notifySortDone(int node, int *remaining, sim::Trigger *done);
+
+    /** Run @p body, then notify the front-end coordinator. */
+    sim::Coro<void> runAndNotify(sim::Coro<void> body, int node,
+                                 int *remaining, sim::Trigger *done);
+
+    /** Park on the phase-2 go trigger, then merge and notify. */
+    sim::Coro<void> sortPhase2Worker(int node,
+                                     const workload::DatasetSpec &data);
+    /** @} */
 
     sim::Coro<void> computeIn(int node, const char *bucket,
                               sim::Tick ref_ticks);
+
+    /** Fold the per-node shards into `result`, in node order. */
+    void foldShards();
 
     /** Spawn the worker set for @p kind; shared by run paths. */
     std::vector<sim::ProcessRef>
@@ -162,7 +191,11 @@ class ClusterTaskRunner
 
     sim::Coro<net::Message> msgRecv(int host, int tag = 0);
 
-    sim::Coro<void> barrier() { return machine.barrier(stream); }
+    sim::Coro<void>
+    barrier(int node)
+    {
+        return machine.barrier(node, stream);
+    }
 
     /** This instance's share of the per-node user memory. */
     std::uint64_t
@@ -181,6 +214,30 @@ class ClusterTaskRunner
     arch::ClusterMachine &machine;
     workload::CostModel cm;
     TaskResult result;
+
+    /**
+     * Per-node result shards: a worker homed on node n's partition
+     * writes only shards[n]; run()/runConcurrent fold them into
+     * `result` in node order after the run, so the floating-point
+     * bucket sums are identical under every HOWSIM_PDES setting.
+     * Front-end writers touch `result` directly — the front-end
+     * domain is always partition 0, the calling thread.
+     */
+    std::vector<TaskResult> shards;
+
+    // Keyed coordination streams, allocated in fixed order at
+    // construction: doneKeys[n] is advanced only on node n's
+    // partition, goKeys only on the front-end.
+    std::vector<sim::KeyStream> doneKeys;
+    sim::KeyStream goKeys;
+
+    // Sort-phase coordination state, reset by each launch().
+    int sortP1Remaining = 0;
+    int sortP2Remaining = 0;
+    sim::Trigger sortP1Done;
+    sim::Trigger sortP2Done;
+    std::vector<std::unique_ptr<sim::Trigger>> sortGo;
+
     int doneMarkers = 0;
     int stream = 0;
     double memShare = 1.0;

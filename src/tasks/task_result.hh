@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "sim/partition.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
 
@@ -38,6 +39,13 @@ struct TaskResult
      * a fault-free run delivers.
      */
     std::uint64_t outputBytes = 0;
+
+    /**
+     * Executive counters of the run (windows, mailbox traffic,
+     * barrier stalls). Host-side accounting only — never part of a
+     * bit-identity comparison; filled by core::runExperiment.
+     */
+    sim::PdesStats pdes;
 
     double seconds() const { return sim::toSeconds(elapsedTicks); }
 };

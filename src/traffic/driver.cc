@@ -416,18 +416,23 @@ trafficLabel(const core::ExperimentConfig &config)
                      config.scale);
 }
 
-/** Mirror of core's partition planning (DESIGN.md §14). */
-template <typename Machine>
+/**
+ * Traffic runs stay co-located (DESIGN.md §14): concurrent query
+ * streams share lazily-created per-stream barriers and inboxes whose
+ * protocols assume one partition, and open-loop arrivals couple every
+ * device through the driver. The machine keeps its default all-
+ * partition-0 placement — no plan is adopted — so the lookahead stays
+ * at maxTick and the windowed loop degenerates to one window.
+ */
 void
-planPartitions(sim::Simulator &simulator, const Machine &machine)
+planPartitions(sim::Simulator &simulator)
 {
     if (simulator.partitions() <= 1)
         return;
-    sim::PartitionGraph graph;
-    machine.describePartitions(graph);
-    sim::PartitionGraph::Plan plan
-        = graph.plan(simulator.partitions());
-    simulator.setLookahead(plan.lookahead);
+    warn("traffic plans run co-located (multi-user streams share "
+         "cross-device state); HOWSIM_PDES=%d runs windowed but "
+         "single-group",
+         simulator.partitions());
 }
 
 /** Publish run totals into the session's metrics JSON. */
@@ -508,7 +513,7 @@ runTraffic(const core::ExperimentConfig &config,
         params.xfer = config.xfer;
         diskos::ActiveDiskArray machine(simulator, config.scale,
                                         config.drive, params);
-        planPartitions(simulator, machine);
+        planPartitions(simulator);
         AdExec exec(simulator, machine, config.costs);
         auto result = drive(simulator, plan, exec,
                             obsSession.get());
@@ -522,7 +527,7 @@ runTraffic(const core::ExperimentConfig &config,
         params.nodeBus.xfer = config.xfer;
         arch::ClusterMachine machine(simulator, config.scale,
                                      config.drive, params);
-        planPartitions(simulator, machine);
+        planPartitions(simulator);
         ClusterExec exec(simulator, machine, config.costs);
         auto result = drive(simulator, plan, exec,
                             obsSession.get());
@@ -537,7 +542,7 @@ runTraffic(const core::ExperimentConfig &config,
         params.xfer = config.xfer;
         smp::SmpMachine machine(simulator, config.scale,
                                 config.scale, config.drive, params);
-        planPartitions(simulator, machine);
+        planPartitions(simulator);
         SmpExec exec(simulator, machine, config.costs);
         auto result = drive(simulator, plan, exec,
                             obsSession.get());

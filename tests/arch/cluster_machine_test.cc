@@ -82,14 +82,14 @@ TEST(ClusterMachine, BarrierCoversWorkersOnly)
     arch::ClusterMachine machine(simulator, 3,
                                  disk::DiskSpec::seagateSt39102());
     int released = 0;
-    auto body = [&](Tick d) -> Coro<void> {
+    auto body = [&](int node, Tick d) -> Coro<void> {
         co_await delay(d);
-        co_await machine.barrier();
+        co_await machine.barrier(node);
         ++released;
     };
-    simulator.spawn(body(10));
-    simulator.spawn(body(20));
-    simulator.spawn(body(30));
+    simulator.spawn(body(0, 10));
+    simulator.spawn(body(1, 20));
+    simulator.spawn(body(2, 30));
     simulator.run();
     EXPECT_EQ(released, 3);
 }

@@ -205,7 +205,7 @@ TEST(ActiveDiskArray, BarrierSynchronizesAllDrives)
     std::vector<Tick> times;
     auto body = [&](int d) -> Coro<void> {
         co_await delay(static_cast<Tick>(d) * 1000);
-        co_await arr.barrier();
+        co_await arr.barrier(d);
         times.push_back(Simulator::current()->now());
     };
     for (int d = 0; d < n; ++d)
