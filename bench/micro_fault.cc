@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Availability-subsystem microbenchmark: host-time cost of the fault
+ * layer's hot paths and the simulated cost of a detected failure.
+ *
+ * Three families of measurements feed BENCH_events.json:
+ *
+ *  1. Counter-hash draws and aliveness checks — unitDraw at a fault
+ *     site and StopSchedule::aliveAt/deathWithin, the arithmetic every
+ *     disk request and traffic retry decision performs when a plan is
+ *     active. Pure functions of (seed, site, seq); these bound the
+ *     per-request overhead of arming the fault layer.
+ *
+ *  2. Host overhead of the heartbeat detector — wall time of a
+ *     faulted select run relative to its fault-free twin, plus the
+ *     simulated probe count, so a regression in the monitor loop's
+ *     event cost shows up as a wall-time ratio.
+ *
+ *  3. Detection and recovery economics in simulated time — mean
+ *     detection latency and rebuilt bytes of a die-then-rejoin run,
+ *     stamped with the canonical plan string so BENCH records are
+ *     self-describing.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdint>
+
+#include "core/bench_harness.hh"
+#include "core/experiment.hh"
+#include "fault/detector.hh"
+#include "fault/fault.hh"
+#include "sim/ticks.hh"
+
+using namespace howsim;
+
+namespace
+{
+
+constexpr int kReps = 3;
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Raw counter-hash throughput at a representative fault site. */
+double
+unitDrawsPerSec(std::uint64_t ops)
+{
+    const std::uint64_t site = fault::siteId("disk.media");
+    double sink = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t seq = 0; seq < ops; ++seq)
+        sink += fault::unitDraw(42, site, seq, 0);
+    double wall = secondsSince(start);
+    return sink > 0 ? static_cast<double>(ops) / wall : 0.0;
+}
+
+/**
+ * Plan-pure aliveness checks: the query the takeover redirect and
+ * the traffic retry protocol ask of the resolved stop schedule.
+ */
+double
+alivenessChecksPerSec(std::uint64_t ops)
+{
+    fault::FaultPlan plan = fault::FaultPlan::parse(
+        "seed=42,stop.disk=1+5+9,stop.at.ms=10,stop.restart.ms=30");
+    fault::StopSchedule sched = fault::StopSchedule::resolve(plan, 16);
+    std::uint64_t sink = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t op = 0; op < ops; ++op) {
+        sim::Tick t = static_cast<sim::Tick>(op) * 1000;
+        sink += sched.aliveAt(static_cast<int>(op % 16), t) ? 1u : 0u;
+        sink += sched.deathWithin(t, t + 500) ? 1u : 0u;
+    }
+    double wall = secondsSince(start);
+    return sink > 0 ? static_cast<double>(ops) / wall : 0.0;
+}
+
+tasks::TaskResult
+runSelect(const char *faults)
+{
+    core::ExperimentConfig config;
+    config.arch = core::Arch::ActiveDisk;
+    config.task = workload::TaskKind::Select;
+    config.scale = 8;
+    config.faults = faults;
+    return core::runExperiment(config);
+}
+
+} // namespace
+
+int
+main()
+{
+    core::BenchHarness harness("micro_fault");
+
+    constexpr std::uint64_t kDrawOps = 4000000;
+    double draws = 0, checks = 0;
+    for (int r = 0; r < kReps; ++r) {
+        draws = std::max(draws, unitDrawsPerSec(kDrawOps));
+        checks = std::max(checks, alivenessChecksPerSec(kDrawOps));
+    }
+
+    // Host overhead of the detector: same select run, with and
+    // without a die-then-rejoin plan monitoring all eight drives.
+    const char *plan = "seed=42,stop.disk=1+3,stop.at.ms=60,"
+                       "stop.restart.ms=200,hb.period.ms=2,"
+                       "rebuild.rate.mbs=64";
+    double freeWall = 1e300, faultWall = 1e300;
+    tasks::TaskResult faulted;
+    for (int r = 0; r < kReps; ++r) {
+        auto start = std::chrono::steady_clock::now();
+        (void)runSelect("");
+        freeWall = std::min(freeWall, secondsSince(start));
+        start = std::chrono::steady_clock::now();
+        faulted = runSelect(plan);
+        faultWall = std::min(faultWall, secondsSince(start));
+    }
+    double overheadPct = (faultWall / freeWall - 1.0) * 100.0;
+
+    std::printf("fault-layer microbenchmark\n");
+    std::printf("  %-34s %12.3g\n", "counter-hash draws/sec", draws);
+    std::printf("  %-34s %12.3g\n", "aliveness checks/sec", checks);
+    std::printf("  %-34s %12.3f\n", "fault-free select wall s",
+                freeWall);
+    std::printf("  %-34s %12.3f\n", "faulted select wall s",
+                faultWall);
+    std::printf("  %-34s %11.1f%%\n", "detector host overhead",
+                overheadPct);
+    std::printf("  %-34s %12llu\n", "simulated heartbeats",
+                static_cast<unsigned long long>(
+                    faulted.availability.heartbeats));
+    std::printf("  %-34s %12.2f\n", "mean detect latency ms",
+                faulted.availability.meanDetectMs());
+    std::printf("  %-34s %12.1f\n", "rebuilt MB",
+                faulted.availability.rebuiltBytes
+                    / (1024.0 * 1024.0));
+
+    harness.metric("unit_draws_per_sec", draws);
+    harness.metric("aliveness_checks_per_sec", checks);
+    harness.metric("faultfree_wall_seconds", freeWall);
+    harness.metric("faulted_wall_seconds", faultWall);
+    harness.metric("detector_host_overhead_pct", overheadPct);
+    harness.metric("sim_heartbeats",
+                   static_cast<double>(
+                       faulted.availability.heartbeats));
+    harness.metric("detect_latency_ms_mean",
+                   faulted.availability.meanDetectMs());
+    harness.metric("rebuilt_mb",
+                   faulted.availability.rebuiltBytes
+                       / (1024.0 * 1024.0));
+    harness.note("fault_plan", faulted.availability.deaths > 0
+                                   ? fault::FaultPlan::parse(plan)
+                                         .toString()
+                                   : "");
+    return 0;
+}

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Availability sweep: the three curves DESIGN.md §13 promises from
+ * the heartbeat failure detector and recovery orchestration.
+ *
+ *  1. Detection latency vs heartbeat period — the declared-death
+ *     instant is emergent (probes ride the machine's contended
+ *     interconnect), so the measured latency exceeds the nominal
+ *     lease by the link's queueing, and grows with hb.period.ms.
+ *  2. Rebuild interference — a victim rejoins mid-run and the
+ *     replica-driven rebuild competes with the foreground query;
+ *     sweeping rebuild.rate.mbs trades recovery speed against
+ *     foreground slowdown.
+ *  3. Degraded throughput — two victims at 16-128 disks on every
+ *     architecture, output asserted byte-equal to fault-free.
+ *
+ * Usage: availability_sweep [--quick]   (--quick sweeps 16-32 only)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "core/runner.hh"
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+using namespace howsim;
+using core::Arch;
+using core::ExperimentConfig;
+using workload::TaskKind;
+
+namespace
+{
+
+ExperimentConfig
+configFor(Arch arch, int scale)
+{
+    ExperimentConfig config;
+    config.arch = arch;
+    config.task = TaskKind::Select;
+    config.scale = scale;
+    return config;
+}
+
+std::string
+spec(const char *fmt, double ms)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), fmt, ms);
+    return buf;
+}
+
+void
+assertInvariant(const tasks::TaskResult &degraded,
+                const tasks::TaskResult &faultFree)
+{
+    if (degraded.outputBytes != faultFree.outputBytes) {
+        panic("degraded run lost data: %llu output bytes vs %llu "
+              "fault-free",
+              static_cast<unsigned long long>(degraded.outputBytes),
+              static_cast<unsigned long long>(faultFree.outputBytes));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    const std::vector<Arch> archs
+        = {Arch::ActiveDisk, Arch::Cluster, Arch::Smp};
+    std::vector<int> scales = quick ? std::vector<int>{16, 32}
+                                    : std::vector<int>{16, 32, 64, 128};
+    std::vector<double> periods = quick
+                                      ? std::vector<double>{2, 10}
+                                      : std::vector<double>{1, 2, 5,
+                                                            10, 20};
+    // Rates straddle one drive's media bandwidth: below it the
+    // throttle binds (rebuild stretches out, interfering longer);
+    // above it the drive itself is the limit and the curve flattens.
+    std::vector<int> rates = quick ? std::vector<int>{4, 128}
+                                   : std::vector<int>{4, 8, 32, 128};
+
+    // Fault-free baselines anchor stop/restart instants and the
+    // slowdown ratios for every figure.
+    std::vector<ExperimentConfig> baseConfigs;
+    for (Arch arch : archs)
+        baseConfigs.push_back(configFor(arch, scales.front()));
+    auto baselines = core::runExperiments(baseConfigs);
+
+    // --- Figure 1: detection latency vs heartbeat period ----------
+    std::printf("Availability sweep: select, heartbeat detector\n\n");
+    std::printf("Detection latency vs hb.period.ms (scale %d, disk 1 "
+                "dies at 1/3 of the fault-free runtime; nominal lease "
+                "= 4 x period)\n",
+                scales.front());
+
+    std::vector<ExperimentConfig> detectConfigs;
+    for (std::size_t a = 0; a < archs.size(); ++a) {
+        double stopMs
+            = sim::toMilliseconds(baselines[a].elapsedTicks) / 3.0;
+        for (double period : periods) {
+            auto config = baseConfigs[a];
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "seed=42,stop.disk=1,stop.at.ms=%.3f,"
+                          "hb.period.ms=%g,hb.timeout.x=4",
+                          stopMs, period);
+            config.faults = buf;
+            detectConfigs.push_back(config);
+        }
+    }
+    auto detectRuns = core::runExperiments(detectConfigs);
+
+    {
+        std::vector<std::string> header = {"arch"};
+        for (double period : periods)
+            header.push_back("hb=" + core::Table::num(period, 0)
+                             + "ms");
+        core::Table table(header);
+        for (std::size_t a = 0; a < archs.size(); ++a) {
+            std::vector<std::string> row = {core::archName(archs[a])};
+            for (std::size_t p = 0; p < periods.size(); ++p) {
+                const auto &r = detectRuns[a * periods.size() + p];
+                assertInvariant(r, baselines[a]);
+                row.push_back(
+                    core::Table::num(r.availability.meanDetectMs(), 2)
+                    + "ms");
+            }
+            table.addRow(row);
+        }
+        table.print();
+        table.maybeWriteCsv("availability_detect");
+    }
+
+    // --- Figure 2: rebuild interference ---------------------------
+    std::printf("\nRebuild interference vs rebuild.rate.mbs (scale "
+                "%d; disk 1 dies at 1/4 and rejoins at 1/2 of the "
+                "fault-free runtime; slowdown vs fault-free)\n",
+                scales.front());
+
+    std::vector<ExperimentConfig> rebuildConfigs;
+    for (std::size_t a = 0; a < archs.size(); ++a) {
+        double ms = sim::toMilliseconds(baselines[a].elapsedTicks);
+        for (int rate : rates) {
+            auto config = baseConfigs[a];
+            char buf[200];
+            std::snprintf(buf, sizeof(buf),
+                          "seed=42,stop.disk=1,stop.at.ms=%.3f,"
+                          "stop.restart.ms=%.3f,hb.period.ms=2,"
+                          "rebuild.rate.mbs=%d",
+                          ms / 4.0, ms / 2.0, rate);
+            config.faults = buf;
+            rebuildConfigs.push_back(config);
+        }
+    }
+    auto rebuildRuns = core::runExperiments(rebuildConfigs);
+
+    {
+        std::vector<std::string> header = {"arch"};
+        for (int rate : rates)
+            header.push_back(std::to_string(rate) + "MB/s");
+        header.push_back("rebuilt MB");
+        core::Table table(header);
+        for (std::size_t a = 0; a < archs.size(); ++a) {
+            std::vector<std::string> row = {core::archName(archs[a])};
+            std::uint64_t rebuilt = 0;
+            for (std::size_t r = 0; r < rates.size(); ++r) {
+                const auto &run = rebuildRuns[a * rates.size() + r];
+                assertInvariant(run, baselines[a]);
+                rebuilt = run.availability.rebuiltBytes;
+                row.push_back(core::Table::num(
+                                  run.seconds()
+                                      / baselines[a].seconds(),
+                                  3)
+                              + "x");
+            }
+            row.push_back(core::Table::num(
+                rebuilt / (1024.0 * 1024.0), 1));
+            table.addRow(row);
+        }
+        table.print();
+        table.maybeWriteCsv("availability_rebuild");
+    }
+
+    // --- Figure 3: degraded throughput at scale -------------------
+    std::printf("\nDegraded throughput: disks 1 and 3 die at 1/3 of "
+                "the fault-free runtime (slowdown vs fault-free, "
+                "output byte-equal)\n");
+
+    std::vector<ExperimentConfig> scaleBase;
+    for (int scale : scales)
+        for (Arch arch : archs)
+            scaleBase.push_back(configFor(arch, scale));
+    auto scaleFree = core::runExperiments(scaleBase);
+
+    std::vector<ExperimentConfig> degradedConfigs;
+    for (std::size_t i = 0; i < scaleBase.size(); ++i) {
+        auto config = scaleBase[i];
+        config.faults = spec("seed=42,stop.disk=1+3,stop.at.ms=%.3f,"
+                             "hb.period.ms=2",
+                             sim::toMilliseconds(
+                                 scaleFree[i].elapsedTicks)
+                                 / 3.0);
+        degradedConfigs.push_back(config);
+    }
+    auto degradedRuns = core::runExperiments(degradedConfigs);
+
+    {
+        core::Table table({"arch", "disks", "fault-free s",
+                           "degraded s", "slowdown", "detect ms"});
+        for (std::size_t i = 0; i < scaleBase.size(); ++i) {
+            const auto &base = scaleFree[i];
+            const auto &run = degradedRuns[i];
+            assertInvariant(run, base);
+            table.addRow(
+                {core::archName(scaleBase[i].arch),
+                 std::to_string(scaleBase[i].scale),
+                 core::Table::num(base.seconds(), 3),
+                 core::Table::num(run.seconds(), 3),
+                 core::Table::num(run.seconds() / base.seconds(), 3)
+                     + "x",
+                 core::Table::num(run.availability.meanDetectMs(),
+                                  2)});
+        }
+        table.print();
+        table.maybeWriteCsv("availability_degraded");
+    }
+    return 0;
+}

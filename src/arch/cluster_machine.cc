@@ -2,10 +2,21 @@
 
 #include <string>
 
+#include "fault/detector.hh"
+#include "sim/awaitables.hh"
 #include "sim/logging.hh"
 
 namespace howsim::arch
 {
+
+namespace
+{
+
+/** Message tag of the rebuild band: above every traffic stream's. */
+constexpr int kRebuildTag = fault::kRebuildStream
+                            * net::kStreamTagStride;
+
+} // namespace
 
 ClusterMachine::ClusterMachine(sim::Simulator &s, int nnodes,
                                const disk::DiskSpec &spec,
@@ -40,11 +51,24 @@ ClusterMachine::ClusterMachine(sim::Simulator &s, int nnodes,
         net::Barrier::logCost(nnodes,
                               2 * clusterParams.net.hopLatency
                                   + sim::microseconds(30)));
+    if (fault::Injector *inj = fault::current()) {
+        if (inj->plan().stopConfigured()) {
+            stopInj = inj;
+            stopSched
+                = fault::StopSchedule::resolve(inj->plan(), nnodes);
+        }
+    }
 }
 
 os::Cpu &
 ClusterMachine::cpu(int node)
 {
+    // A dead node's share of the query runs on its takeover peer's
+    // CPU. Compute never stalls on the lease — the process was
+    // already migrated by whichever redirected I/O preceded it.
+    if (!stopSched.empty()
+        && !stopSched.aliveAt(node, simulator.now()))
+        node = stopSched.buddyOf(node, size());
     return *nodes[static_cast<std::size_t>(node)].cpu;
 }
 
@@ -60,19 +84,72 @@ ClusterMachine::driveCapacity() const
     return nodes.front().drive->capacityBytes();
 }
 
+sim::Coro<int>
+ClusterMachine::route(int node)
+{
+    const fault::StopSchedule::Victim *v = stopSched.victimOf(node);
+    if (v == nullptr || stopSched.aliveAt(node, simulator.now()))
+        co_return node;
+    sim::Tick ready = v->stopAt + stopSched.lease;
+    if (v->rejoins() && v->restartAt < ready)
+        ready = v->restartAt;
+    if (simulator.now() < ready)
+        co_await sim::delay(ready - simulator.now());
+    if (stopSched.aliveAt(node, simulator.now()))
+        co_return node;
+    ++stopInj->counters().stopRedirects;
+    co_return stopSched.buddyOf(node, size());
+}
+
 sim::Coro<os::IoResult>
 ClusterMachine::read(int node, std::uint64_t offset, std::uint64_t bytes)
 {
-    return nodes[static_cast<std::size_t>(node)].raw->read(offset,
-                                                           bytes);
+    if (!stopSched.empty())
+        node = co_await route(node);
+    co_return co_await nodes[static_cast<std::size_t>(node)]
+        .raw->read(offset, bytes);
 }
 
 sim::Coro<os::IoResult>
 ClusterMachine::write(int node, std::uint64_t offset,
                       std::uint64_t bytes)
 {
-    return nodes[static_cast<std::size_t>(node)].raw->write(offset,
-                                                            bytes);
+    if (!stopSched.empty())
+        node = co_await route(node);
+    co_return co_await nodes[static_cast<std::size_t>(node)]
+        .raw->write(offset, bytes);
+}
+
+sim::Coro<bool>
+ClusterMachine::heartbeat(int node)
+{
+    // Probe and ack are real fabric frames: they queue behind
+    // foreground stage transfers, so the measured detection latency
+    // grows with network load.
+    co_await fabric->transport(frontendId(), node,
+                               static_cast<std::uint64_t>(
+                                   fault::kHeartbeatBytes));
+    if (!stopSched.aliveAt(node, simulator.now()))
+        co_return false;
+    co_await sim::delay(clusterParams.costs.interrupt);
+    co_await fabric->transport(node, frontendId(),
+                               static_cast<std::uint64_t>(
+                                   fault::kHeartbeatBytes));
+    co_return true;
+}
+
+sim::Coro<void>
+ClusterMachine::rebuildChunk(int victim, std::uint64_t offset,
+                             std::uint64_t bytes)
+{
+    int peer = stopSched.buddyOf(victim, size());
+    co_await read(peer, offset, bytes);
+    net::Message m;
+    m.tag = kRebuildTag;
+    m.bytes = bytes;
+    co_await msgLayer->send(peer, victim, std::move(m));
+    co_await msgLayer->recv(victim, kRebuildTag);
+    co_await write(victim, offset, bytes);
 }
 
 sim::Coro<void>
@@ -127,8 +204,15 @@ ClusterMachine::describePartitions(sim::PartitionGraph &graph)
     graph.addEdge(fabComp, fe, latency);
     nodeComps.clear();
     for (int n = 0; n < size(); ++n) {
+        // Fail-stop takeover merges a victim into its peer's domain:
+        // the victim's share of a query runs on the peer's CPU and
+        // disk after the redirect, so the two must share a partition.
+        // Healthy nodes still fan out under PDES.
+        int domain = 1 + n;
+        if (!stopSched.empty() && stopSched.victimOf(n) != nullptr)
+            domain = 1 + stopSched.buddyOf(n, size());
         int c = graph.addComponent(strprintf("cluster.node%d", n),
-                                   1 + n);
+                                   domain);
         graph.addEdge(c, fabComp, latency);
         nodeComps.push_back(c);
     }
@@ -152,6 +236,11 @@ ClusterMachine::adoptPlan(const sim::PartitionGraph::Plan &plan)
     hostParts.push_back(fePart);
     msgLayer->setTopology(fePart, crossLatency(),
                           std::move(hostParts));
+    // Rebuild-band queues, pre-created for the same reason the batch
+    // band is: the rebuild loop recv()s on the victim's partition and
+    // a lazy queue-map insert would race once threads split.
+    for (const fault::StopSchedule::Victim &v : stopSched.victims)
+        msgLayer->reserveTag(v.device, kRebuildTag);
     // A single node keeps the legacy barrier: with one participant
     // the keyed round trip adds nothing (and logCost(1) leaves no
     // release margin for the arrival edge).

@@ -18,6 +18,7 @@
 
 #include "bus/bus.hh"
 #include "disk/disk.hh"
+#include "fault/fault.hh"
 #include "net/msg.hh"
 #include "net/network.hh"
 #include "os/cpu.hh"
@@ -137,6 +138,33 @@ class ClusterMachine
         return fabric->minMessageLatency();
     }
 
+    /** @name Availability (fail-stop takeover, DESIGN.md §13) */
+    /** @{ */
+
+    /** This machine's resolved fail-stop schedule (empty = none). */
+    const fault::StopSchedule &stopSchedule() const { return stopSched; }
+
+    /**
+     * One failure-detector probe round trip through the switch
+     * fabric, from the front-end host to @p node: a request frame, an
+     * OS interrupt turnaround, an ack frame — unless @p node is down
+     * at probe arrival, in which case there is no ack. Executes on
+     * the front-end/fabric partition.
+     */
+    sim::Coro<bool> heartbeat(int node);
+
+    /**
+     * Copy one replica chunk back onto rejoined @p node: a replica
+     * read on its takeover peer, a message-layer transfer on the
+     * reserved rebuild tag band, a local write — all contending with
+     * foreground queries. Executes on the victim's partition (merged
+     * with the peer's; see describePartitions).
+     */
+    sim::Coro<void> rebuildChunk(int victim, std::uint64_t offset,
+                                 std::uint64_t bytes);
+
+    /** @} */
+
   private:
     struct Node
     {
@@ -145,6 +173,13 @@ class ClusterMachine
         std::unique_ptr<os::RawDisk> raw;
         std::unique_ptr<os::Cpu> cpu;
     };
+
+    /**
+     * Fail-stop takeover routing (same contract as
+     * ActiveDiskArray::route): stall until the nominal lease or the
+     * restart, then serve on the node itself or its takeover peer.
+     */
+    sim::Coro<int> route(int node);
 
     sim::Simulator &simulator;
     ClusterParams clusterParams;
@@ -156,6 +191,10 @@ class ClusterMachine
     // Per-stream barriers for concurrent traffic queries, created on
     // first use; the batch path (stream 0) never touches this map.
     std::map<int, std::unique_ptr<net::Barrier>> streamBarriers;
+
+    // Fail-stop takeover (empty schedule / null when not configured).
+    fault::StopSchedule stopSched;
+    fault::Injector *stopInj = nullptr;
 
     // Partition-plan bookkeeping (describePartitions / adoptPlan).
     int fabComp = -1;

@@ -77,6 +77,17 @@ BenchHarness::metric(const std::string &key, double value)
     extras.emplace_back(key, value);
 }
 
+void
+BenchHarness::note(const std::string &key, const std::string &value)
+{
+    if (value.find('{') != std::string::npos
+        || value.find('}') != std::string::npos)
+        panic("BenchHarness::note: braces in \"%s\" would break the "
+              "flat record format",
+              value.c_str());
+    noteExtras.emplace_back(key, value);
+}
+
 double
 BenchHarness::elapsedSeconds() const
 {
@@ -112,6 +123,9 @@ BenchHarness::~BenchHarness()
                       sim::defaultPdesPartitions(), hw > 0 ? hw : 1);
     for (const auto &[key, value] : extras)
         body += strprintf(",\n    \"%s\": %.6g", key.c_str(), value);
+    for (const auto &[key, value] : noteExtras)
+        body += strprintf(",\n    \"%s\": \"%s\"", key.c_str(),
+                          value.c_str());
     body += "\n  }";
 
     const std::string path = jsonPath();

@@ -37,6 +37,13 @@ class BenchHarness
     /** Attach an extra metric to this benchmark's record. */
     void metric(const std::string &key, double value);
 
+    /**
+     * Attach a string field (e.g. the canonical fault-plan spec) to
+     * this benchmark's record. The value must not contain braces —
+     * the record format is flat (see parseRecords).
+     */
+    void note(const std::string &key, const std::string &value);
+
     /** Seconds elapsed since construction. */
     double elapsedSeconds() const;
 
@@ -45,6 +52,7 @@ class BenchHarness
     std::chrono::steady_clock::time_point wallStart;
     std::uint64_t eventsStart;
     std::vector<std::pair<std::string, double>> extras;
+    std::vector<std::pair<std::string, std::string>> noteExtras;
 };
 
 } // namespace howsim::core

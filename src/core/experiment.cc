@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
+#include <vector>
 
 #include "arch/cluster_machine.hh"
 #include "arch/cost_model.hh"
+#include "core/availability.hh"
 #include "diskos/active_disk_array.hh"
+#include "fault/detector.hh"
 #include "fault/fault.hh"
 #include "obs/obs.hh"
 #include "sim/logging.hh"
@@ -95,30 +99,45 @@ validateConfig(const ExperimentConfig &config,
               config.pdes, config.scale);
     }
     if (plan.stopConfigured()) {
-        if (!config.traffic.empty()) {
-            fatal("fault plan: stop.* fail-stop faults cannot be "
-                  "combined with a traffic plan — fail-stop "
-                  "recovery assumes a single batch query owns the "
-                  "machine");
-        }
-        if (plan.stopDisk >= config.scale) {
-            fatal("fault plan: stop.disk=%d is out of range for "
-                  "scale=%d (victims are numbered [0, scale))",
-                  plan.stopDisk, config.scale);
+        // Collect every fail-stop violation and report them together:
+        // a matrix driver fixing its plan should see the whole damage
+        // in one pass, not one fatal() per rerun. (Any task kind and
+        // any traffic plan are fine — the machines' takeover redirect
+        // and the driver's retry protocol cover them all.)
+        std::string violations;
+        for (int d : plan.stopDisks) {
+            if (d < 0 || d >= config.scale) {
+                violations += strprintf(
+                    "\n  - stop.disk victim %d is out of range for "
+                    "scale=%d (victims are numbered [0, scale))",
+                    d, config.scale);
+            }
         }
         if (config.scale < 2) {
-            fatal("fault plan: stop.disk needs scale >= 2 so "
-                  "survivors can absorb the victim's work");
+            violations += strprintf(
+                "\n  - fail-stop needs scale >= 2 so a takeover "
+                "buddy can absorb a victim's work (scale=%d)",
+                config.scale);
+        } else {
+            std::vector<int> uniq;
+            for (int d : plan.stopDisks) {
+                if (d >= 0 && d < config.scale
+                    && std::find(uniq.begin(), uniq.end(), d)
+                           == uniq.end())
+                    uniq.push_back(d);
+            }
+            if (static_cast<int>(uniq.size()) >= config.scale) {
+                violations += strprintf(
+                    "\n  - stop.disk lists every device of scale=%d; "
+                    "at least one never-victim survivor must remain "
+                    "to serve as the takeover buddy",
+                    config.scale);
+            }
         }
-        switch (config.task) {
-          case workload::TaskKind::Select:
-          case workload::TaskKind::Aggregate:
-          case workload::TaskKind::GroupBy:
-            break;
-          default:
-            fatal("fault plan: stop.disk is only supported for the "
-                  "scan tasks (select, aggregate, groupby), not %s",
-                  workload::taskName(config.task).c_str());
+        if (!violations.empty()) {
+            fatal("fault plan \"%s\" is invalid for this "
+                  "experiment:%s",
+                  plan.toString().c_str(), violations.c_str());
         }
     }
 }
@@ -134,6 +153,9 @@ publishFaultMetrics(obs::Session *sess, fault::Injector *inj)
         return;
     const fault::Counters &c = inj->counters();
     auto &m = sess->metrics();
+    // The canonical plan spec makes any faulted artifact reproducible
+    // from the JSON alone (parse(toString()) round-trips the plan).
+    m.note("fault.plan", inj->plan().toString());
     m.counter("fault.disk.slow_requests").add(c.diskSlowRequests);
     m.counter("fault.disk.slow_ticks")
         .add(static_cast<std::uint64_t>(c.diskSlowTicks));
@@ -157,26 +179,17 @@ publishFaultMetrics(obs::Session *sess, fault::Injector *inj)
  * serial executive adopts the same (all-partition-0) plan, keeping
  * machine-side key-stream allocation identical between serial and
  * parallel runs, which is what makes their event orders comparable.
- *
- * A fail-stop plan forces co-location: the recovery protocol joins
- * worker processes across the device boundary, which the partitioned
- * executive does not support. The run degrades to one group with a
- * warn rather than failing.
+ * Fail-stop plans partition like any other run: the machines merge
+ * each victim's domain into its takeover buddy's (their
+ * describePartitions), so no forced co-location remains.
  */
 template <typename Machine>
 void
-planPartitions(sim::Simulator &simulator, Machine &machine,
-               bool coLocate)
+planPartitions(sim::Simulator &simulator, Machine &machine)
 {
     sim::PartitionGraph graph;
     machine.describePartitions(graph);
     int nparts = simulator.partitions();
-    if (coLocate && nparts > 1) {
-        warn("fail-stop fault plan forces partition co-location; "
-             "HOWSIM_PDES=%d runs windowed but single-group",
-             nparts);
-        nparts = 1;
-    }
     sim::PartitionGraph::Plan plan = graph.plan(nparts);
     if (plan.groups < nparts) {
         // More partitions than co-location groups: the surplus
@@ -189,6 +202,61 @@ planPartitions(sim::Simulator &simulator, Machine &machine,
     simulator.setLookahead(plan.lookahead);
     machine.adoptPlan(plan);
 }
+
+/**
+ * The failure-detector wiring of one faulted experiment: the
+ * machine-specific AvailabilityTransport adapter plus the Detector
+ * spawned through it. Construct after planPartitions (the detector
+ * homes its monitors by the adopted partitions) and before the runner
+ * executes; inert when no fail-stop is scheduled. Victims that rejoin
+ * trigger a rebuild of their share of the dataset (inputBytes/scale —
+ * the striped share every machine gives one device).
+ */
+template <typename Adapter, typename Machine>
+struct AvailabilityRig
+{
+    AvailabilityRig(sim::Simulator &simulator, fault::Injector *inj,
+                    Machine &machine, std::uint64_t inputBytes,
+                    int scale)
+    {
+        if (inj == nullptr || machine.stopSchedule().empty())
+            return;
+        adapter = std::make_unique<Adapter>(machine);
+        bool rejoins = false;
+        for (const auto &v : machine.stopSchedule().victims)
+            rejoins = rejoins || v.rejoins();
+        std::uint64_t rebuildBytes
+            = rejoins ? inputBytes / static_cast<std::uint64_t>(scale)
+                      : 0;
+        detector = std::make_unique<fault::Detector>(
+            simulator, *inj, machine.stopSchedule(), *adapter,
+            rebuildBytes);
+        detector->start();
+    }
+
+    /** Fold the observations into the result and the metrics JSON. */
+    void
+    finish(tasks::TaskResult &result, obs::Session *sess)
+    {
+        if (!detector)
+            return;
+        result.availability = detector->stats();
+        if (!sess)
+            return;
+        const fault::AvailabilityStats &a = result.availability;
+        auto &m = sess->metrics();
+        m.counter("fault.hb.probes").add(a.heartbeats);
+        m.counter("fault.hb.deaths").add(a.deaths);
+        m.counter("fault.hb.rejoins").add(a.rejoins);
+        m.gauge("fault.hb.detect_ms_mean").set(a.meanDetectMs());
+        m.gauge("fault.hb.detect_ms_max")
+            .set(sim::toMilliseconds(a.detectLatencyMax));
+        m.counter("fault.rebuild.bytes").add(a.rebuiltBytes);
+    }
+
+    std::unique_ptr<Adapter> adapter;
+    std::unique_ptr<fault::Detector> detector;
+};
 
 } // namespace
 
@@ -226,10 +294,14 @@ runExperiment(const ExperimentConfig &config)
         params.xfer = config.xfer;
         diskos::ActiveDiskArray machine(simulator, config.scale,
                                         config.drive, params);
-        planPartitions(simulator, machine, plan.stopConfigured());
+        planPartitions(simulator, machine);
+        AvailabilityRig<AdAvailability, diskos::ActiveDiskArray> rig(
+            simulator, faultScope.injector(), machine,
+            data.inputBytes, config.scale);
         tasks::AdTaskRunner runner(simulator, machine, config.costs);
         auto result = runner.run(config.task, data);
         result.pdes = simulator.pdesStats();
+        rig.finish(result, obsSession.get());
         publishFaultMetrics(obsSession.get(), faultScope.injector());
         if (obsSession)
             obsSession->dump(); // while probed components are alive
@@ -241,11 +313,15 @@ runExperiment(const ExperimentConfig &config)
         params.nodeBus.xfer = config.xfer;
         arch::ClusterMachine machine(simulator, config.scale,
                                      config.drive, params);
-        planPartitions(simulator, machine, plan.stopConfigured());
+        planPartitions(simulator, machine);
+        AvailabilityRig<ClusterAvailability, arch::ClusterMachine>
+            rig(simulator, faultScope.injector(), machine,
+                data.inputBytes, config.scale);
         tasks::ClusterTaskRunner runner(simulator, machine,
                                         config.costs);
         auto result = runner.run(config.task, data);
         result.pdes = simulator.pdesStats();
+        rig.finish(result, obsSession.get());
         publishFaultMetrics(obsSession.get(), faultScope.injector());
         if (obsSession)
             obsSession->dump();
@@ -258,10 +334,14 @@ runExperiment(const ExperimentConfig &config)
         params.xfer = config.xfer;
         smp::SmpMachine machine(simulator, config.scale, config.scale,
                                 config.drive, params);
-        planPartitions(simulator, machine, plan.stopConfigured());
+        planPartitions(simulator, machine);
+        AvailabilityRig<SmpAvailability, smp::SmpMachine> rig(
+            simulator, faultScope.injector(), machine,
+            data.inputBytes, config.scale);
         tasks::SmpTaskRunner runner(simulator, machine, config.costs);
         auto result = runner.run(config.task, data);
         result.pdes = simulator.pdesStats();
+        rig.finish(result, obsSession.get());
         publishFaultMetrics(obsSession.get(), faultScope.injector());
         if (obsSession)
             obsSession->dump();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "fault/detector.hh"
 #include "fault/fault.hh"
 #include "obs/obs.hh"
 #include "sim/awaitables.hh"
@@ -69,6 +70,22 @@ ActiveDiskArray::ActiveDiskArray(sim::Simulator &s, int ndisks,
             if (obs::Session *session = obs::session()) {
                 obsRetrans = &session->metrics().counter(
                     "adloop.fault.retransmits");
+            }
+        }
+        if (inj->plan().stopConfigured()) {
+            stopInj = inj;
+            stopSched
+                = fault::StopSchedule::resolve(inj->plan(), ndisks);
+            // Pre-create each victim's rebuild inbox: the rebuild
+            // loop runs on the victim's partition while traffic
+            // queries touch the same channel map from theirs, so the
+            // map must never be mutated mid-run.
+            for (const fault::StopSchedule::Victim &v :
+                 stopSched.victims) {
+                streamInboxes.emplace(
+                    std::make_pair(v.device, fault::kRebuildStream),
+                    std::make_unique<sim::Channel<AdBlock>>(
+                        inboxCapacity(adParams)));
             }
         }
     }
@@ -166,10 +183,63 @@ ActiveDiskArray::driveCapacity() const
     return drives.front().mech->capacityBytes();
 }
 
+sim::Coro<int>
+ActiveDiskArray::route(int d)
+{
+    const fault::StopSchedule::Victim *v = stopSched.victimOf(d);
+    if (v == nullptr || stopSched.aliveAt(d, simulator.now()))
+        co_return d;
+    // Dead: stall until the front end could have declared the death
+    // (the nominal lease) or until the drive restarts, whichever
+    // comes first.
+    sim::Tick ready = v->stopAt + stopSched.lease;
+    if (v->rejoins() && v->restartAt < ready)
+        ready = v->restartAt;
+    if (simulator.now() < ready)
+        co_await sim::delay(ready - simulator.now());
+    if (stopSched.aliveAt(d, simulator.now()))
+        co_return d;
+    ++stopInj->counters().stopRedirects;
+    co_return stopSched.buddyOf(d, size());
+}
+
+sim::Coro<bool>
+ActiveDiskArray::heartbeat(int d)
+{
+    // Probe frame out; the drive's firmware acks only if it is up
+    // when the probe lands. Both frames contend with foreground
+    // transfers for the serial loop — that contention is the
+    // emergent part of the measured detection latency.
+    co_await fc->transfer(fault::kHeartbeatBytes);
+    if (!stopSched.aliveAt(d, simulator.now()))
+        co_return false;
+    co_await sim::delay(adParams.costs.interrupt);
+    co_await fc->transfer(fault::kHeartbeatBytes);
+    co_return true;
+}
+
+sim::Coro<void>
+ActiveDiskArray::rebuildChunk(int victim, std::uint64_t offset,
+                              std::uint64_t bytes)
+{
+    int buddy = stopSched.buddyOf(victim, size());
+    co_await readLocal(buddy, offset, bytes);
+    AdBlock blk;
+    blk.src = buddy;
+    blk.tag = -1;
+    blk.bytes = bytes;
+    co_await send(buddy, victim, std::move(blk),
+                  fault::kRebuildStream);
+    co_await inbox(victim, fault::kRebuildStream).recv();
+    co_await writeLocal(victim, offset, bytes);
+}
+
 sim::Coro<void>
 ActiveDiskArray::readLocal(int d, std::uint64_t offset,
                            std::uint64_t bytes)
 {
+    if (!stopSched.empty())
+        d = co_await route(d);
     auto &drv = drives[static_cast<std::size_t>(d)];
     co_await sim::delay(adParams.costs.ioQueue);
     const std::uint32_t sector = drv.mech->spec().sectorBytes;
@@ -191,6 +261,8 @@ sim::Coro<void>
 ActiveDiskArray::writeLocal(int d, std::uint64_t offset,
                             std::uint64_t bytes)
 {
+    if (!stopSched.empty())
+        d = co_await route(d);
     auto &drv = drives[static_cast<std::size_t>(d)];
     co_await sim::delay(adParams.costs.ioQueue);
     const std::uint32_t sector = drv.mech->spec().sectorBytes;
@@ -210,6 +282,8 @@ ActiveDiskArray::writeLocal(int d, std::uint64_t offset,
 sim::Coro<void>
 ActiveDiskArray::compute(int d, sim::Tick ref_ticks)
 {
+    if (!stopSched.empty())
+        d = co_await route(d);
     co_await drives[static_cast<std::size_t>(d)].cpu->compute(ref_ticks);
 }
 
@@ -325,7 +399,14 @@ ActiveDiskArray::send(int src, int dst, AdBlock block, int stream)
     if (src < 0 || src >= size() || dst < 0 || dst >= size())
         panic("ActiveDiskArray::send: bad endpoints %d -> %d", src, dst);
     block.src = src;
-    auto &from = drives[static_cast<std::size_t>(src)];
+    // Takeover: a dead source's disklet runs on its buddy drive, so
+    // the buddy's stream buffers flow-control the send and the bytes
+    // leave the buddy's port (the inbox keyed by dst stays logical —
+    // a dead destination's disklet drains it from the buddy too).
+    int psrc = src;
+    if (!stopSched.empty())
+        psrc = co_await route(src);
+    auto &from = drives[static_cast<std::size_t>(psrc)];
     std::uint64_t bytes = block.bytes;
 
     co_await from.commBuffers->acquire();
@@ -358,7 +439,10 @@ ActiveDiskArray::sendToFrontend(int src, AdBlock block, int stream)
     if (src < 0 || src >= size())
         panic("ActiveDiskArray::sendToFrontend: bad source %d", src);
     block.src = src;
-    auto &from = drives[static_cast<std::size_t>(src)];
+    int psrc = src;
+    if (!stopSched.empty())
+        psrc = co_await route(src);
+    auto &from = drives[static_cast<std::size_t>(psrc)];
     std::uint64_t bytes = block.bytes;
 
     co_await from.commBuffers->acquire();
@@ -447,8 +531,16 @@ ActiveDiskArray::describePartitions(sim::PartitionGraph &graph)
     graph.addEdge(loopComp, fe, latency);
     driveComps.clear();
     for (int d = 0; d < size(); ++d) {
+        // Fail-stop takeover merges a victim into its buddy's
+        // domain: the victim's disklets run on the buddy's hardware
+        // after the redirect, so the two must share a partition.
+        // Non-victim domains still fan out under PDES — the keyed
+        // handshakes, not forced co-location, carry the rest.
+        int domain = 1 + d;
+        if (!stopSched.empty() && stopSched.victimOf(d) != nullptr)
+            domain = 1 + stopSched.buddyOf(d, size());
         int c = graph.addComponent(strprintf("ad.drive%d", d),
-                                   1 + d);
+                                   domain);
         graph.addEdge(c, loopComp, latency);
         driveComps.push_back(c);
     }

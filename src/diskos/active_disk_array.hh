@@ -27,6 +27,7 @@
 #include "bus/bus.hh"
 #include "disk/disk.hh"
 #include "diskos/ad_params.hh"
+#include "fault/fault.hh"
 #include "net/msg.hh"
 #include "os/cpu.hh"
 #include "sim/channel.hh"
@@ -38,11 +39,6 @@ namespace howsim::obs
 {
 class Counter;
 } // namespace howsim::obs
-
-namespace howsim::fault
-{
-class Injector;
-} // namespace howsim::fault
 
 namespace howsim::diskos
 {
@@ -203,6 +199,34 @@ class ActiveDiskArray
      */
     sim::Tick crossLatency() const { return fc->minGrantLatency(); }
 
+    /** @name Availability (fail-stop takeover, DESIGN.md §13) */
+    /** @{ */
+
+    /** This machine's resolved fail-stop schedule (empty = none). */
+    const fault::StopSchedule &stopSchedule() const { return stopSched; }
+
+    /**
+     * One failure-detector probe round trip over the serial
+     * interconnect, from the front end to drive @p d: a request frame,
+     * a firmware turnaround, an ack frame — unless @p d is down at
+     * probe arrival, in which case there is no ack and the caller eats
+     * the silence. Executes on the front-end/loop partition.
+     */
+    sim::Coro<bool> heartbeat(int d);
+
+    /**
+     * Copy one replica chunk back onto rejoined drive @p victim: a
+     * replica read on its takeover buddy, a flow-controlled send
+     * across the loop on the reserved rebuild stream, a local write —
+     * all contending with foreground disklets. Executes on the
+     * victim's partition (merged with the buddy's; see
+     * describePartitions).
+     */
+    sim::Coro<void> rebuildChunk(int victim, std::uint64_t offset,
+                                 std::uint64_t bytes);
+
+    /** @} */
+
   private:
     struct Drive
     {
@@ -255,6 +279,19 @@ class ActiveDiskArray
 
     /** @} */
 
+    /**
+     * Fail-stop takeover routing: the physical drive that serves an
+     * operation addressed to @p d right now. A live drive serves
+     * itself. An operation addressed to a dead drive stalls until the
+     * front end could have declared the death (the nominal lease) or
+     * until the drive restarts, whichever is first, then runs on the
+     * drive itself (restarted) or on its takeover buddy (redirected,
+     * counted in Counters::stopRedirects). Pure plan arithmetic — no
+     * detector state is read — so the decision is identical on every
+     * partition and across serial/PDES runs.
+     */
+    sim::Coro<int> route(int d);
+
     sim::Simulator &simulator;
     AdParams adParams;
     std::vector<Drive> drives;
@@ -280,6 +317,10 @@ class ActiveDiskArray
     fault::Injector *faultInj = nullptr;
     std::map<std::pair<int, int>, std::uint64_t> linkSeq;
     obs::Counter *obsRetrans = nullptr;
+
+    // Fail-stop takeover (empty schedule / null when not configured).
+    fault::StopSchedule stopSched;
+    fault::Injector *stopInj = nullptr;
 
     // Keyed send-protocol streams: driveKeys[d] is advanced only by
     // events executing on drive d's partition, feKeys only on the

@@ -1,5 +1,6 @@
 #include "fault/fault.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "obs/obs.hh"
@@ -63,6 +64,34 @@ parseRate(const std::string &key, const std::string &value)
     return v;
 }
 
+/** "1+4+7" -> sorted, deduplicated victim indices, each >= 0. */
+std::vector<int>
+parseVictimList(const std::string &key, const std::string &value)
+{
+    std::vector<int> victims;
+    std::size_t pos = 0;
+    while (pos <= value.size()) {
+        std::size_t plus = value.find('+', pos);
+        if (plus == std::string::npos)
+            plus = value.size();
+        std::string item = value.substr(pos, plus - pos);
+        pos = plus + 1;
+        if (item.empty())
+            fatal("fault spec: %s=\"%s\" has an empty victim entry "
+                  "(expected '+'-separated indices, e.g. 1+4+7)",
+                  key.c_str(), value.c_str());
+        long v = parseInt(key, item);
+        if (v < 0)
+            fatal("fault spec: %s victim %ld must be >= 0",
+                  key.c_str(), v);
+        victims.push_back(static_cast<int>(v));
+    }
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()),
+                  victims.end());
+    return victims;
+}
+
 } // namespace
 
 FaultPlan
@@ -122,26 +151,49 @@ FaultPlan::parse(const std::string &spec)
             plan.netTimeout = sim::microseconds(
                 static_cast<std::uint64_t>(v));
         } else if (key == "stop.disk") {
-            long v = parseInt(key, value);
-            if (v < 0)
-                fatal("fault spec: stop.disk=%ld must be >= 0", v);
-            plan.stopDisk = static_cast<int>(v);
+            plan.stopDisks = parseVictimList(key, value);
+        } else if (key == "stop.rate") {
+            plan.stopRate = parseRate(key, value);
         } else if (key == "stop.at.ms") {
             double v = parseDouble(key, value);
             if (v < 0.0)
                 fatal("fault spec: stop.at.ms=%g must be >= 0", v);
             plan.stopAt = sim::fromSeconds(v * 1e-3);
+        } else if (key == "stop.restart.ms") {
+            double v = parseDouble(key, value);
+            if (v <= 0.0)
+                fatal("fault spec: stop.restart.ms=%g must be > 0", v);
+            plan.stopRestart = sim::fromSeconds(v * 1e-3);
         } else if (key == "stop.detect.ms") {
             double v = parseDouble(key, value);
             if (v < 0.0)
                 fatal("fault spec: stop.detect.ms=%g must be >= 0", v);
             plan.stopDetect = sim::fromSeconds(v * 1e-3);
+        } else if (key == "hb.period.ms") {
+            double v = parseDouble(key, value);
+            if (v < 0.0)
+                fatal("fault spec: hb.period.ms=%g must be >= 0 "
+                      "(0 disables the detector)",
+                      v);
+            plan.hbPeriod = sim::fromSeconds(v * 1e-3);
+        } else if (key == "hb.timeout.x") {
+            plan.hbTimeoutX = parseDouble(key, value);
+            if (plan.hbTimeoutX < 1.0)
+                fatal("fault spec: hb.timeout.x=%g must be >= 1",
+                      plan.hbTimeoutX);
+        } else if (key == "rebuild.rate.mbs") {
+            plan.rebuildRateMBs = parseDouble(key, value);
+            if (plan.rebuildRateMBs <= 0.0)
+                fatal("fault spec: rebuild.rate.mbs=%g must be > 0",
+                      plan.rebuildRateMBs);
         } else {
             fatal("fault spec: unknown key \"%s\" (accepted: seed, "
                   "disk.slow.frac, disk.slow.factor, disk.media.rate, "
                   "disk.media.retries, disk.remap.rate, net.drop.rate, "
                   "net.corrupt.rate, net.retries, net.timeout.us, "
-                  "stop.disk, stop.at.ms, stop.detect.ms)",
+                  "stop.disk, stop.rate, stop.at.ms, stop.restart.ms, "
+                  "stop.detect.ms, hb.period.ms, hb.timeout.x, "
+                  "rebuild.rate.mbs)",
                   key.c_str());
         }
     }
@@ -159,6 +211,205 @@ FaultPlan::fromEnv()
     if (!env || !*env)
         return FaultPlan{};
     return parse(env);
+}
+
+namespace
+{
+
+/** Shortest decimal that parseDouble reads back to exactly @p v. */
+std::string
+numStr(double v)
+{
+    if (v == static_cast<double>(static_cast<long long>(v))
+        && v > -1e15 && v < 1e15)
+        return strprintf("%lld", static_cast<long long>(v));
+    for (int prec = 1; prec < 17; ++prec) {
+        std::string s = strprintf("%.*g", prec, v);
+        if (std::strtod(s.c_str(), nullptr) == v)
+            return s;
+    }
+    return strprintf("%.17g", v);
+}
+
+/** Shortest decimal milliseconds that parse back to exactly @p t. */
+std::string
+msStr(sim::Tick t)
+{
+    double ms = static_cast<double>(t) / 1e6;
+    if (t % 1000000 == 0)
+        return strprintf("%llu",
+                         static_cast<unsigned long long>(t / 1000000));
+    for (int prec = 1; prec < 17; ++prec) {
+        std::string s = strprintf("%.*g", prec, ms);
+        double v = std::strtod(s.c_str(), nullptr);
+        if (sim::fromSeconds(v * 1e-3) == t)
+            return s;
+    }
+    return strprintf("%.17g", ms);
+}
+
+void
+emit(std::string &out, const std::string &key, const std::string &val)
+{
+    if (!out.empty())
+        out += ',';
+    out += key;
+    out += '=';
+    out += val;
+}
+
+} // namespace
+
+std::string
+FaultPlan::toString() const
+{
+    const FaultPlan defaults;
+    std::string out;
+    if (seed != defaults.seed)
+        emit(out, "seed", strprintf("%llu",
+                                    (unsigned long long)seed));
+    if (diskSlowFrac != defaults.diskSlowFrac)
+        emit(out, "disk.slow.frac", numStr(diskSlowFrac));
+    if (diskSlowFactor != defaults.diskSlowFactor)
+        emit(out, "disk.slow.factor", numStr(diskSlowFactor));
+    if (diskMediaRate != defaults.diskMediaRate)
+        emit(out, "disk.media.rate", numStr(diskMediaRate));
+    if (diskMediaRetries != defaults.diskMediaRetries)
+        emit(out, "disk.media.retries",
+             strprintf("%d", diskMediaRetries));
+    if (diskRemapRate != defaults.diskRemapRate)
+        emit(out, "disk.remap.rate", numStr(diskRemapRate));
+    if (netDropRate != defaults.netDropRate)
+        emit(out, "net.drop.rate", numStr(netDropRate));
+    if (netCorruptRate != defaults.netCorruptRate)
+        emit(out, "net.corrupt.rate", numStr(netCorruptRate));
+    if (netRetries != defaults.netRetries)
+        emit(out, "net.retries", strprintf("%d", netRetries));
+    if (netTimeout != defaults.netTimeout)
+        emit(out, "net.timeout.us",
+             strprintf("%llu",
+                       (unsigned long long)(netTimeout
+                                            / sim::microseconds(1))));
+    if (!stopDisks.empty()) {
+        std::string list;
+        for (int d : stopDisks) {
+            if (!list.empty())
+                list += '+';
+            list += strprintf("%d", d);
+        }
+        emit(out, "stop.disk", list);
+    }
+    if (stopRate != defaults.stopRate)
+        emit(out, "stop.rate", numStr(stopRate));
+    if (stopAt != defaults.stopAt)
+        emit(out, "stop.at.ms", msStr(stopAt));
+    if (stopRestart != defaults.stopRestart)
+        emit(out, "stop.restart.ms", msStr(stopRestart));
+    if (stopDetect != defaults.stopDetect)
+        emit(out, "stop.detect.ms", msStr(stopDetect));
+    if (hbPeriod != defaults.hbPeriod)
+        emit(out, "hb.period.ms", msStr(hbPeriod));
+    if (hbTimeoutX != defaults.hbTimeoutX)
+        emit(out, "hb.timeout.x", numStr(hbTimeoutX));
+    if (rebuildRateMBs != defaults.rebuildRateMBs)
+        emit(out, "rebuild.rate.mbs", numStr(rebuildRateMBs));
+    return out;
+}
+
+const StopSchedule::Victim *
+StopSchedule::victimOf(int device) const
+{
+    for (const Victim &v : victims) {
+        if (v.device == device)
+            return &v;
+    }
+    return nullptr;
+}
+
+bool
+StopSchedule::aliveAt(int device, sim::Tick now) const
+{
+    const Victim *v = victimOf(device);
+    if (!v)
+        return true;
+    if (now < v->stopAt)
+        return true;
+    return v->rejoins() && now >= v->restartAt;
+}
+
+bool
+StopSchedule::degradedAt(sim::Tick now) const
+{
+    for (const Victim &v : victims) {
+        if (now >= v.stopAt && !(v.rejoins() && now >= v.restartAt))
+            return true;
+    }
+    return false;
+}
+
+bool
+StopSchedule::deathWithin(sim::Tick from, sim::Tick to) const
+{
+    for (const Victim &v : victims) {
+        if (v.stopAt >= from && v.stopAt < to)
+            return true;
+    }
+    return false;
+}
+
+int
+StopSchedule::buddyOf(int device, int count) const
+{
+    for (int step = 1; step < count; ++step) {
+        int peer = (device + step) % count;
+        if (!victimOf(peer))
+            return peer;
+    }
+    panic("StopSchedule::buddyOf: no surviving peer among %d devices",
+          count);
+}
+
+StopSchedule
+StopSchedule::resolve(const FaultPlan &plan, int count)
+{
+    StopSchedule sched;
+    sched.lease = plan.leaseTicks();
+    if (!plan.stopConfigured())
+        return sched;
+    std::vector<bool> hit(static_cast<std::size_t>(count), false);
+    for (int d : plan.stopDisks) {
+        if (d < count)
+            hit[static_cast<std::size_t>(d)] = true;
+    }
+    if (plan.stopRate > 0.0) {
+        std::uint64_t site = siteId("stop.rate");
+        for (int d = 0; d < count; ++d) {
+            if (unitDraw(plan.seed, site,
+                         static_cast<std::uint64_t>(d), 0)
+                < plan.stopRate)
+                hit[static_cast<std::size_t>(d)] = true;
+        }
+    }
+    // Spare the highest-numbered devices until a survivor remains:
+    // a schedule that kills every replica peer has no buddy to
+    // redirect to (stop.rate=1 would otherwise do this).
+    int survivors = 0;
+    for (int d = 0; d < count; ++d)
+        survivors += hit[static_cast<std::size_t>(d)] ? 0 : 1;
+    for (int d = count - 1; survivors == 0 && d >= 0; --d) {
+        if (hit[static_cast<std::size_t>(d)]) {
+            hit[static_cast<std::size_t>(d)] = false;
+            survivors = 1;
+        }
+    }
+    sim::Tick restartAt
+        = plan.stopRestart > 0 ? plan.stopAt + plan.stopRestart : 0;
+    for (int d = 0; d < count; ++d) {
+        if (hit[static_cast<std::size_t>(d)])
+            sched.victims.push_back(
+                Victim{d, plan.stopAt, restartAt});
+    }
+    return sched;
 }
 
 std::uint64_t

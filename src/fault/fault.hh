@@ -28,6 +28,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "sim/ticks.hh"
 
@@ -80,17 +81,35 @@ struct FaultPlan
     sim::Tick netTimeout = sim::microseconds(1000);
 
     /** @} */
-    /** @name Fail-stop */
+    /** @name Fail-stop / availability */
     /** @{ */
 
-    /** Disk/host index that fail-stops (-1 = none). */
-    int stopDisk = -1;
+    /** Disk/host indices that fail-stop ("stop.disk=1+4+7"). */
+    std::vector<int> stopDisks;
 
-    /** Simulated time of the fail-stop. */
+    /** Per-device probability of being drawn as an extra victim. */
+    double stopRate = 0.0;
+
+    /** Simulated time of the fail-stop (shared by all victims). */
     sim::Tick stopAt = 0;
 
-    /** Detection latency (missed heartbeat) before recovery starts. */
+    /** Victims rejoin this long after stopping (0 = never). */
+    sim::Tick stopRestart = 0;
+
+    /**
+     * Fixed detection-lease fallback, used only when the heartbeat
+     * detector is disabled (hb.period.ms=0).
+     */
     sim::Tick stopDetect = sim::milliseconds(10);
+
+    /** Heartbeat period of the failure detector (0 = fixed timer). */
+    sim::Tick hbPeriod = sim::milliseconds(5);
+
+    /** Lease = hb.timeout.x missed heartbeat periods (>= 1). */
+    double hbTimeoutX = 3.0;
+
+    /** Rebuild throttle after a rejoin, MB/s of replica copy. */
+    double rebuildRateMBs = 32.0;
 
     /** @} */
 
@@ -107,7 +126,26 @@ struct FaultPlan
         return netDropRate > 0.0 || netCorruptRate > 0.0;
     }
 
-    bool stopConfigured() const { return stopDisk >= 0; }
+    bool
+    stopConfigured() const
+    {
+        return !stopDisks.empty() || stopRate > 0.0;
+    }
+
+    /**
+     * The detection lease: how stale a device's last heartbeat ack
+     * may be before the front end declares it dead. hb.timeout.x
+     * periods of the heartbeat detector, or the fixed stop.detect.ms
+     * timer when heartbeats are disabled.
+     */
+    sim::Tick
+    leaseTicks() const
+    {
+        if (hbPeriod <= 0)
+            return stopDetect;
+        return static_cast<sim::Tick>(
+            static_cast<double>(hbPeriod) * hbTimeoutX);
+    }
 
     /** True when any perturbation is configured (seed alone is not). */
     bool
@@ -126,6 +164,85 @@ struct FaultPlan
 
     /** parse(HOWSIM_FAULTS), or the inactive plan when unset. */
     static FaultPlan fromEnv();
+
+    /**
+     * Canonical spec string: non-default keys in the documented
+     * order, such that parse(toString()) reproduces this plan
+     * field-for-field. The inactive default plan serializes to "".
+     * This is what runs embed in their metrics JSON and bench
+     * records so any faulted artifact is reproducible by itself.
+     */
+    std::string toString() const;
+};
+
+/**
+ * The resolved fail-stop schedule of one run: the union of the
+ * explicit stop.disk victims and the stop.rate counter-hash draws,
+ * clamped to the machine's device count, each with its death and
+ * rejoin instants. Aliveness is a pure function of (plan, device,
+ * time), so every layer — machines redirecting I/O, the detector
+ * measuring latency, the traffic driver retrying queries — agrees on
+ * it without exchanging state, which is what keeps timelines
+ * bit-identical across the sched x xfer x jobs x pdes matrix.
+ */
+struct StopSchedule
+{
+    struct Victim
+    {
+        int device = -1;
+        sim::Tick stopAt = 0;
+
+        /** First instant the device serves again (0 = never). */
+        sim::Tick restartAt = 0;
+
+        bool
+        rejoins() const
+        {
+            return restartAt > stopAt;
+        }
+    };
+
+    /** Victims in ascending device order (deduplicated). */
+    std::vector<Victim> victims;
+
+    /** Detection lease (FaultPlan::leaseTicks()). */
+    sim::Tick lease = 0;
+
+    bool empty() const { return victims.empty(); }
+
+    /** The victim record for @p device, or null. */
+    const Victim *victimOf(int device) const;
+
+    /** Is @p device serving at @p now? */
+    bool aliveAt(int device, sim::Tick now) const;
+
+    /** Is any device down at @p now? */
+    bool degradedAt(sim::Tick now) const;
+
+    /**
+     * Does a death instant fall inside [@p from, @p to)? The traffic
+     * driver retries exactly the queries whose first attempt
+     * overlaps a death.
+     */
+    bool deathWithin(sim::Tick from, sim::Tick to) const;
+
+    /**
+     * The next device after @p device (cyclically, among @p count)
+     * that is never a victim — the mirror/replica peer that absorbs
+     * the victim's work. Requires at least one non-victim.
+     */
+    int buddyOf(int device, int count) const;
+
+    /**
+     * Resolve @p plan against @p count devices: explicit victims
+     * union rate-drawn ones (unitDraw(seed, siteId("stop.rate"),
+     * device, 0) < stop.rate). Out-of-range explicit victims are
+     * dropped — validateConfig rejects them before any machine is
+     * built, so a machine resolving its own schedule never sees
+     * them. If every device would be a victim the highest-numbered
+     * ones are spared until one survivor remains.
+     */
+    static StopSchedule resolve(const FaultPlan &plan, int count);
 };
 
 /**

@@ -262,6 +262,16 @@ MsgLayer::retireTagRange(int tagLo, int tagHi)
     });
 }
 
+void
+MsgLayer::reserveTag(int host, int tag)
+{
+    // Insert directly rather than via queueFor: reservations run on
+    // the construction thread after setTopology has already flipped
+    // the partitioned flag (its lazy-creation guard would fire).
+    queues.try_emplace(std::make_pair(host, tag),
+                       std::make_unique<Queue>());
+}
+
 Barrier::Barrier(sim::Simulator &s, int n, sim::Tick cost)
     : simulator(s), expected(n), completionCost(cost),
       current(std::make_shared<sim::Trigger>())

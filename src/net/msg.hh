@@ -105,6 +105,14 @@ class MsgLayer
     void retireTagRange(int tagLo, int tagHi);
 
     /**
+     * Pre-create the (@p host, @p tag) queue outside the batch band
+     * — e.g. the rebuild band of a fail-stop victim. Must run on the
+     * construction thread before Simulator::run(): once partition
+     * threads split, a lazy queue-map insert would race.
+     */
+    void reserveTag(int host, int tag);
+
+    /**
      * Declare the partitioned topology (DESIGN.md §14): the fabric's
      * partition — which owns the stage buses, the link sequence
      * counters and the fault decisions — the minimum cut-edge latency

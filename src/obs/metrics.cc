@@ -116,6 +116,12 @@ MetricRegistry::histogram(const std::string &name)
     return histogramMap[name];
 }
 
+void
+MetricRegistry::note(const std::string &name, const std::string &value)
+{
+    noteMap[name] = value;
+}
+
 std::string
 MetricRegistry::toJson() const
 {
@@ -173,7 +179,20 @@ MetricRegistry::toJson() const
         }
         out += "]}";
     }
-    out += "\n  }\n}\n";
+    out += "\n  }";
+    if (!noteMap.empty()) {
+        out += ",\n  \"annotations\": {";
+        first = true;
+        for (const auto &[name, v] : noteMap) {
+            out += first ? "\n    " : ",\n    ";
+            first = false;
+            appendJsonString(out, name);
+            out += ": ";
+            appendJsonString(out, v);
+        }
+        out += "\n  }";
+    }
+    out += "\n}\n";
     return out;
 }
 

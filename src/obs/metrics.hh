@@ -135,6 +135,18 @@ class MetricRegistry
     Gauge &gauge(const std::string &name);
     Histogram &histogram(const std::string &name);
 
+    /**
+     * Attach a string annotation — reproducibility context such as
+     * the canonical fault-plan spec — emitted in an "annotations"
+     * section of the JSON (present only when any annotation is set).
+     */
+    void note(const std::string &name, const std::string &value);
+
+    const std::map<std::string, std::string> &notes() const
+    {
+        return noteMap;
+    }
+
     const std::map<std::string, Counter> &counters() const
     {
         return counterMap;
@@ -163,6 +175,7 @@ class MetricRegistry
     std::map<std::string, Counter> counterMap;
     std::map<std::string, Gauge> gaugeMap;
     std::map<std::string, Histogram> histogramMap;
+    std::map<std::string, std::string> noteMap;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "fault/detector.hh"
 #include "fault/fault.hh"
 #include "sim/awaitables.hh"
 #include "sim/logging.hh"
@@ -72,11 +73,10 @@ SmpMachine::SmpMachine(sim::Simulator &s, int nprocs, int ndisks,
                                   + sim::microseconds(2)));
 
     if (fault::Injector *inj = fault::current()) {
-        const fault::FaultPlan &plan = inj->plan();
-        if (plan.stopConfigured() && plan.stopDisk < ndisks) {
+        if (inj->plan().stopConfigured()) {
             stopInj = inj;
-            stopVictim = plan.stopDisk;
-            stopAt = plan.stopAt;
+            stopSched
+                = fault::StopSchedule::resolve(inj->plan(), ndisks);
         }
     }
 }
@@ -85,6 +85,39 @@ disk::Disk &
 SmpMachine::driveMech(int d)
 {
     return *farm[static_cast<std::size_t>(d)];
+}
+
+sim::Coro<int>
+SmpMachine::route(DiskGroup group, int disk_idx)
+{
+    const fault::StopSchedule::Victim *v
+        = stopSched.victimOf(disk_idx);
+    if (v == nullptr || stopSched.aliveAt(disk_idx, simulator.now()))
+        co_return disk_idx;
+    if (group.diskCount < 2)
+        panic("SmpMachine::route: fail-stop of the only drive in "
+              "the group");
+    // Stall until the OS could have declared the death (the nominal
+    // lease) or until the drive restarts, whichever comes first.
+    sim::Tick ready = v->stopAt + stopSched.lease;
+    if (v->rejoins() && v->restartAt < ready)
+        ready = v->restartAt;
+    if (simulator.now() < ready)
+        co_await sim::delay(ready - simulator.now());
+    if (stopSched.aliveAt(disk_idx, simulator.now()))
+        co_return disk_idx;
+    ++stopInj->counters().stopRedirects;
+    // The mirror: the next never-victim member of the group.
+    for (int k = 1; k < group.diskCount; ++k) {
+        int cand = group.firstDisk
+                   + (disk_idx - group.firstDisk + k)
+                         % group.diskCount;
+        if (stopSched.victimOf(cand) == nullptr)
+            co_return cand;
+    }
+    panic("SmpMachine::route: every drive in group [%d, +%d) is a "
+          "victim",
+          group.firstDisk, group.diskCount);
 }
 
 sim::Coro<void>
@@ -105,40 +138,54 @@ SmpMachine::io(DiskGroup group, std::uint64_t offset,
         int disk_idx = group.firstDisk
                        + static_cast<int>(c % static_cast<std::uint64_t>(
                              group.diskCount));
-        if (stopInj && disk_idx == stopVictim
-            && simulator.now() >= stopAt) {
-            if (group.diskCount < 2) {
-                panic("SmpMachine::io: fail-stop of the only drive "
-                      "in the group");
-            }
-            fault::Counters &ctr = stopInj->counters();
-            if (!stopSeen) {
-                stopSeen = true;
-                ++ctr.stopDeaths;
-            }
-            ++ctr.stopRedirects;
-            disk_idx = group.firstDisk
-                       + (disk_idx - group.firstDisk + 1)
-                             % group.diskCount;
-        }
         std::uint64_t row = c / static_cast<std::uint64_t>(
                                 group.diskCount);
         std::uint64_t lo = std::max(offset, c * chunk);
         std::uint64_t hi = std::min(offset + bytes, (c + 1) * chunk);
         std::uint64_t disk_off = row * chunk + (lo - c * chunk);
-        os::RawDisk *r = raw[static_cast<std::size_t>(disk_idx)].get();
-        auto one = [](os::RawDisk *rd, bus::Bus *xio_bus,
+        auto one = [](SmpMachine *m, DiskGroup g, int idx,
                       std::uint64_t off, std::uint64_t len,
                       bool w) -> sim::Coro<void> {
+            if (!m->stopSched.empty())
+                idx = co_await m->route(g, idx);
+            os::RawDisk *rd = m->raw[static_cast<std::size_t>(idx)]
+                                  .get();
             if (w)
                 co_await rd->write(off, len);
             else
                 co_await rd->read(off, len);
-            co_await xio_bus->transfer(len);
+            co_await m->xio->transfer(len);
         };
-        window.post(one(r, xio.get(), disk_off, hi - lo, write));
+        window.post(one(this, group, disk_idx, disk_off, hi - lo,
+                        write));
     }
     co_await window.drain();
+}
+
+sim::Coro<bool>
+SmpMachine::heartbeat(int d)
+{
+    // Probe and ack are real FC frames: they queue behind foreground
+    // stripe chunks on the shared loop, so the measured detection
+    // latency grows with I/O load.
+    co_await fc->transfer(fault::kHeartbeatBytes);
+    if (!stopSched.aliveAt(d, simulator.now()))
+        co_return false;
+    co_await sim::delay(smpParams.costs.interrupt);
+    co_await fc->transfer(fault::kHeartbeatBytes);
+    co_return true;
+}
+
+sim::Coro<void>
+SmpMachine::rebuildChunk(int victim, std::uint64_t offset,
+                         std::uint64_t bytes)
+{
+    int mirror = stopSched.buddyOf(victim, diskCount());
+    co_await raw[static_cast<std::size_t>(mirror)]->read(offset,
+                                                         bytes);
+    co_await xio->transfer(bytes);
+    co_await raw[static_cast<std::size_t>(victim)]->write(offset,
+                                                          bytes);
 }
 
 sim::Coro<void>

@@ -19,6 +19,7 @@
 
 #include "bus/bus.hh"
 #include "disk/disk.hh"
+#include "fault/fault.hh"
 #include "net/msg.hh"
 #include "os/async_io.hh"
 #include "os/cpu.hh"
@@ -27,11 +28,6 @@
 #include "sim/coro.hh"
 #include "sim/resource.hh"
 #include "sim/simulator.hh"
-
-namespace howsim::fault
-{
-class Injector;
-} // namespace howsim::fault
 
 namespace howsim::smp
 {
@@ -190,6 +186,33 @@ class SmpMachine
                    : diskParts[static_cast<std::size_t>(d)];
     }
 
+    /** @name Availability (fail-stop takeover, DESIGN.md §13) */
+    /** @{ */
+
+    /** This machine's resolved fail-stop schedule (empty = none). */
+    const fault::StopSchedule &stopSchedule() const { return stopSched; }
+
+    /**
+     * One failure-detector probe round trip over the shared FC loop
+     * to farm drive @p d: a request frame, a controller-interrupt
+     * turnaround, an ack frame — unless @p d is down at probe
+     * arrival, in which case there is no ack. Executes on the host
+     * partition (the FC controller's home).
+     */
+    sim::Coro<bool> heartbeat(int d);
+
+    /**
+     * Copy one mirror chunk back onto rejoined drive @p victim: a
+     * mirror read, an XIO crossing, a local write, all through the
+     * OS raw-disk path and the shared FC — contending with foreground
+     * I/O. Executes on the host partition (the raw-disk split
+     * protocol issues from there).
+     */
+    sim::Coro<void> rebuildChunk(int victim, std::uint64_t offset,
+                                 std::uint64_t bytes);
+
+    /** @} */
+
   private:
     friend class SharedQueue;
 
@@ -218,12 +241,21 @@ class SmpMachine
     // first use; the batch path (stream 0) never touches this map.
     std::map<int, std::unique_ptr<net::Barrier>> streamBarriers;
 
-    // Fail-stop of one farm drive: the OS redirects chunks destined
-    // for the victim to its mirror (the next drive in the group).
+    // Fail-stop takeover (empty schedule / null when not
+    // configured): the OS stalls chunks destined for a dead drive
+    // until the lease (or the restart) and then redirects them to
+    // the next live drive in the group.
+    fault::StopSchedule stopSched;
     fault::Injector *stopInj = nullptr;
-    int stopVictim = -1;
-    sim::Tick stopAt = 0;
-    bool stopSeen = false;
+
+    /**
+     * Takeover routing for one stripe chunk: the drive of @p group
+     * that serves a chunk addressed to @p disk_idx right now. Same
+     * stall-then-redirect contract as ActiveDiskArray::route, except
+     * the redirect target is group-relative (the next never-victim
+     * member).
+     */
+    sim::Coro<int> route(DiskGroup group, int disk_idx);
 
     // Partition-plan bookkeeping: component ids recorded by
     // describePartitions, partitions adopted from the plan.

@@ -62,15 +62,6 @@ AdTaskRunner::AdTaskRunner(sim::Simulator &s,
     for (int d = 0; d < machine.size(); ++d)
         doneKeys.push_back(s.allocKeyStream());
     goKeys = s.allocKeyStream();
-    if (fault::Injector *inj = fault::current()) {
-        const fault::FaultPlan &plan = inj->plan();
-        if (plan.stopConfigured() && plan.stopDisk < machine.size()) {
-            stopInj = inj;
-            victim = plan.stopDisk;
-            stopAt = plan.stopAt;
-            stopDetect = plan.stopDetect;
-        }
-    }
 }
 
 Coro<void>
@@ -215,41 +206,12 @@ AdTaskRunner::scanWorker(int d, const DatasetSpec &data, TaskKind kind)
 
     std::uint64_t pending = 0;
 
-    if (stopInj && d == victim) {
-        // The victim runs a sequential block loop (no pipelined
-        // producer) so death lands exactly at a block boundary: the
-        // drive vanishes with its pending partial result flushed and
-        // no done marker sent. The monitor re-deals the rest.
-        std::uint64_t off = 0;
-        while (off < local_bytes) {
-            if (simulator.now() >= stopAt) {
-                co_await emitToFrontend(d, 0, &pending, true);
-                ++stopInj->counters().stopDeaths;
-                victimDied = true;
-                victimBytesDone = off;
-                victimExit.fire();
-                co_return;
-            }
-            std::uint64_t sz = std::min<std::uint64_t>(
-                kBlock, local_bytes - off);
-            co_await machine.readLocal(d, off, sz);
-            std::uint64_t tuples = sz / tuple;
-            co_await computeIn(d, "scan.cpu", tuples * per_tuple);
-            if (emit_ratio > 0.0) {
-                auto out = static_cast<std::uint64_t>(
-                    static_cast<double>(sz) * emit_ratio);
-                co_await emitToFrontend(d, out, &pending, false);
-            }
-            off += sz;
-        }
-        co_await emitToFrontend(d, 0, &pending, true);
-        victimDied = false;
-        victimBytesDone = local_bytes;
-        victimExit.fire();
-        co_await sendDoneMarker(d);
-        co_return;
-    }
-
+    // Fail-stop needs no task-level branch: a dead drive's disklet
+    // keeps executing this very loop, with every readLocal/compute/
+    // send hardware-redirected to the takeover buddy by the machine
+    // (stall until the lease, then serve on the buddy), so the
+    // emitted bytes are identical to the fault-free run by
+    // construction.
     auto consume = [this, d, tuple, per_tuple, emit_ratio,
                     &pending](std::uint64_t blk) -> Coro<void> {
         std::uint64_t tuples = blk / tuple;
@@ -263,81 +225,6 @@ AdTaskRunner::scanWorker(int d, const DatasetSpec &data, TaskKind kind)
     co_await streamLocal(d, 0, local_bytes, consume);
     co_await emitToFrontend(d, 0, &pending, true);
     co_await sendDoneMarker(d);
-}
-
-Coro<void>
-AdTaskRunner::recoveryWorker(int d, std::vector<std::uint64_t> sizes,
-                             const DatasetSpec &data, TaskKind kind)
-{
-    // Survivors read their share of the victim's partition from the
-    // replica region and apply the identical per-block computation
-    // and emission arithmetic, so total emitted bytes match the
-    // fault-free run exactly (floor(block * ratio) summed over the
-    // same block sizes).
-    const ScanCosts costs = scanCosts(kind, data);
-    const std::uint64_t replica = writeRegion(machine);
-    std::uint64_t pending = 0, off = 0;
-    for (std::uint64_t sz : sizes) {
-        co_await machine.readLocal(d, replica + off, sz);
-        std::uint64_t tuples = sz / data.tupleBytes;
-        co_await computeIn(d, "scan.cpu", tuples * costs.perTuple);
-        if (costs.emitRatio > 0.0) {
-            auto out = static_cast<std::uint64_t>(
-                static_cast<double>(sz) * costs.emitRatio);
-            co_await emitToFrontend(d, out, &pending, false);
-        }
-        off += sz;
-        ++stopInj->counters().recoveredBlocks;
-    }
-    co_await emitToFrontend(d, 0, &pending, true);
-}
-
-Coro<void>
-AdTaskRunner::failStopMonitor(const DatasetSpec &data, TaskKind kind)
-{
-    co_await victimExit.wait();
-    if (!victimDied)
-        co_return;
-    // Detection: the victim's heartbeat is missed after stopDetect.
-    co_await sim::delay(stopDetect);
-    obs::Span span("fault", "degraded", "fault");
-
-    const int n = size();
-    if (n < 2)
-        panic("failStopMonitor: no survivors to absorb disk %d",
-              victim);
-    const std::uint64_t local_bytes = data.inputBytes
-                                      / static_cast<std::uint64_t>(n);
-
-    // Deal the victim's unprocessed blocks round-robin to survivors,
-    // preserving the fault-free block sizes.
-    std::vector<std::vector<std::uint64_t>> sizes(
-        static_cast<std::size_t>(n));
-    fault::Counters &ctr = stopInj->counters();
-    int next = (victim + 1) % n;
-    std::uint64_t off = victimBytesDone;
-    while (off < local_bytes) {
-        std::uint64_t sz = std::min<std::uint64_t>(kBlock,
-                                                   local_bytes - off);
-        sizes[static_cast<std::size_t>(next)].push_back(sz);
-        ++ctr.stopRedirects;
-        off += sz;
-        next = (next + 1) % n;
-        if (next == victim)
-            next = (next + 1) % n;
-    }
-
-    std::vector<sim::ProcessRef> workers;
-    for (int d = 0; d < n; ++d) {
-        auto &share = sizes[static_cast<std::size_t>(d)];
-        if (d == victim || share.empty())
-            continue;
-        workers.push_back(simulator.spawn(
-            recoveryWorker(d, std::move(share), data, kind),
-            "recovery-worker"));
-    }
-    co_await sim::joinAll(workers);
-    co_await sendDoneMarker((victim + 1) % n);
 }
 
 Coro<void>
@@ -1007,13 +894,6 @@ AdTaskRunner::launch(TaskKind kind, const DatasetSpec &data)
             simulator.spawnOn(fePart,
                               frontendConsumer(fe_merge_per_byte),
                               "fe"));
-        if (stopInj) {
-            // Fail-stop plans force partition co-location, so the
-            // monitor may join recovery workers freely.
-            procs.push_back(simulator.spawn(failStopMonitor(data,
-                                                            kind),
-                                            "failstop-monitor"));
-        }
         break;
       case TaskKind::Sort:
         sortP1Remaining = 2 * n;

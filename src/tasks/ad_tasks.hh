@@ -98,25 +98,6 @@ class AdTaskRunner
     ScanCosts scanCosts(workload::TaskKind kind,
                         const workload::DatasetSpec &data) const;
 
-    /** @name Fail-stop degradation (scan family) */
-    /** @{ */
-
-    /**
-     * Waits for the victim disklet to exit; if it died, waits out the
-     * detection latency and re-deals the victim's unprocessed blocks
-     * round-robin to the surviving drives, which read them from the
-     * replica region. Sends the victim's done marker once recovery
-     * completes.
-     */
-    sim::Coro<void> failStopMonitor(const workload::DatasetSpec &data,
-                                    workload::TaskKind kind);
-
-    sim::Coro<void> recoveryWorker(int d,
-                                   std::vector<std::uint64_t> sizes,
-                                   const workload::DatasetSpec &data,
-                                   workload::TaskKind kind);
-    /** @} */
-
     /** @name Per-disk task workers */
     /** @{ */
     sim::Coro<void> scanWorker(int d, const workload::DatasetSpec &data,
@@ -261,16 +242,10 @@ class AdTaskRunner
     int stream = 0;
     double memShare = 1.0;
 
-    // Fail-stop state (stopInj null unless the plan stops a drive in
-    // range). The victim runs a sequential block loop so it can die
-    // at a block boundary; victimExit fires on either exit path.
-    fault::Injector *stopInj = nullptr;
-    int victim = -1;
-    sim::Tick stopAt = 0;
-    sim::Tick stopDetect = 0;
-    bool victimDied = false;
-    std::uint64_t victimBytesDone = 0;
-    sim::Trigger victimExit;
+    // Fail-stop needs no runner state: dead drives' disklets keep
+    // running and the machine hardware-redirects their operations to
+    // the takeover buddy (ActiveDiskArray::route), so every task gets
+    // the degraded path for free.
 };
 
 } // namespace howsim::tasks

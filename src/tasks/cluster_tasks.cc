@@ -65,15 +65,6 @@ ClusterTaskRunner::ClusterTaskRunner(sim::Simulator &s,
     for (int n = 0; n < machine.size(); ++n)
         doneKeys.push_back(s.allocKeyStream());
     goKeys = s.allocKeyStream();
-    if (fault::Injector *inj = fault::current()) {
-        const fault::FaultPlan &plan = inj->plan();
-        if (plan.stopConfigured() && plan.stopDisk < machine.size()) {
-            stopInj = inj;
-            victim = plan.stopDisk;
-            stopAt = plan.stopAt;
-            stopDetect = plan.stopDetect;
-        }
-    }
 }
 
 Coro<void>
@@ -248,42 +239,11 @@ ClusterTaskRunner::scanWorker(int node, const DatasetSpec &data,
 
     std::uint64_t pending = 0;
 
-    if (stopInj && node == victim) {
-        // Victim path: sequential block loop so the node dies at a
-        // block boundary with its partial result flushed and no done
-        // marker; the monitor re-deals the remainder. See
-        // AdTaskRunner::scanWorker.
-        std::uint64_t off = 0;
-        while (off < local_bytes) {
-            if (simulator.now() >= stopAt) {
-                co_await emitToFrontend(node, 0, &pending, true);
-                ++stopInj->counters().stopDeaths;
-                victimDied = true;
-                victimBytesDone = off;
-                victimExit.fire();
-                co_return;
-            }
-            std::uint64_t sz = std::min<std::uint64_t>(
-                kBlock, local_bytes - off);
-            co_await machine.read(node, off, sz);
-            std::uint64_t tuples = sz / tuple;
-            co_await computeIn(node, "scan.cpu", tuples * per_tuple);
-            if (emit_ratio > 0.0) {
-                auto out = static_cast<std::uint64_t>(
-                    static_cast<double>(sz) * emit_ratio);
-                co_await emitToFrontend(node, out, &pending, false);
-            }
-            off += sz;
-        }
-        co_await emitToFrontend(node, 0, &pending, true);
-        victimDied = false;
-        victimBytesDone = local_bytes;
-        victimExit.fire();
-        co_await msgSend(node, machine.frontendId(),
-                         feDoneMessage());
-        co_return;
-    }
-
+    // Fail-stop needs no task-level branch: a dead node's share
+    // keeps executing this very loop, with every read/cpu/send
+    // hardware-redirected to the takeover peer by the machine
+    // (ClusterMachine::route), so the emitted bytes are identical to
+    // the fault-free run by construction.
     auto consume = [this, node, tuple, per_tuple, emit_ratio,
                     &pending](std::uint64_t blk) -> Coro<void> {
         std::uint64_t tuples = blk / tuple;
@@ -297,81 +257,6 @@ ClusterTaskRunner::scanWorker(int node, const DatasetSpec &data,
     co_await streamLocal(node, 0, local_bytes, consume);
     co_await emitToFrontend(node, 0, &pending, true);
     co_await msgSend(node, machine.frontendId(),
-                     feDoneMessage());
-}
-
-Coro<void>
-ClusterTaskRunner::recoveryWorker(int node,
-                                  std::vector<std::uint64_t> sizes,
-                                  const DatasetSpec &data,
-                                  TaskKind kind)
-{
-    // Survivors read their share of the victim's partition from the
-    // replica region with the identical per-block arithmetic, so
-    // total emission matches the fault-free run exactly.
-    const ScanCosts costs = scanCosts(kind, data);
-    const std::uint64_t replica = writeRegion(machine);
-    std::uint64_t pending = 0, off = 0;
-    for (std::uint64_t sz : sizes) {
-        co_await machine.read(node, replica + off, sz);
-        std::uint64_t tuples = sz / data.tupleBytes;
-        co_await computeIn(node, "scan.cpu", tuples * costs.perTuple);
-        if (costs.emitRatio > 0.0) {
-            auto out = static_cast<std::uint64_t>(
-                static_cast<double>(sz) * costs.emitRatio);
-            co_await emitToFrontend(node, out, &pending, false);
-        }
-        off += sz;
-        ++stopInj->counters().recoveredBlocks;
-    }
-    co_await emitToFrontend(node, 0, &pending, true);
-}
-
-Coro<void>
-ClusterTaskRunner::failStopMonitor(const DatasetSpec &data,
-                                   TaskKind kind)
-{
-    co_await victimExit.wait();
-    if (!victimDied)
-        co_return;
-    co_await sim::delay(stopDetect);
-    obs::Span span("fault", "degraded", "fault");
-
-    const int n = size();
-    if (n < 2)
-        panic("failStopMonitor: no survivors to absorb node %d",
-              victim);
-    const std::uint64_t local_bytes = data.inputBytes
-                                      / static_cast<std::uint64_t>(n);
-
-    std::vector<std::vector<std::uint64_t>> sizes(
-        static_cast<std::size_t>(n));
-    fault::Counters &ctr = stopInj->counters();
-    int next = (victim + 1) % n;
-    std::uint64_t off = victimBytesDone;
-    while (off < local_bytes) {
-        std::uint64_t sz = std::min<std::uint64_t>(kBlock,
-                                                   local_bytes - off);
-        sizes[static_cast<std::size_t>(next)].push_back(sz);
-        ++ctr.stopRedirects;
-        off += sz;
-        next = (next + 1) % n;
-        if (next == victim)
-            next = (next + 1) % n;
-    }
-
-    std::vector<sim::ProcessRef> workers;
-    for (int node = 0; node < n; ++node) {
-        auto &share = sizes[static_cast<std::size_t>(node)];
-        if (node == victim || share.empty())
-            continue;
-        workers.push_back(simulator.spawn(
-            recoveryWorker(node, std::move(share), data, kind),
-            "recovery-worker"));
-    }
-    co_await sim::joinAll(workers);
-    co_await msgSend((victim + 1) % n,
-                     machine.frontendId(),
                      feDoneMessage());
 }
 
@@ -995,13 +880,6 @@ ClusterTaskRunner::launch(TaskKind kind, const DatasetSpec &data)
             simulator.spawnOn(fePart,
                               frontendConsumer(fe_merge_per_byte),
                               "fe"));
-        if (stopInj) {
-            // Fail-stop plans force partition co-location, so the
-            // monitor may join recovery workers freely.
-            procs.push_back(simulator.spawn(failStopMonitor(data,
-                                                            kind),
-                                            "failstop-monitor"));
-        }
         break;
       case TaskKind::Sort:
         sortP1Remaining = 2 * n;

@@ -99,16 +99,6 @@ class ClusterTaskRunner
     ScanCosts scanCosts(workload::TaskKind kind,
                         const workload::DatasetSpec &data) const;
 
-    /** @name Fail-stop degradation (scan family) */
-    /** @{ */
-    sim::Coro<void> failStopMonitor(const workload::DatasetSpec &data,
-                                    workload::TaskKind kind);
-    sim::Coro<void> recoveryWorker(int node,
-                                   std::vector<std::uint64_t> sizes,
-                                   const workload::DatasetSpec &data,
-                                   workload::TaskKind kind);
-    /** @} */
-
     sim::Coro<void> scanWorker(int node,
                                const workload::DatasetSpec &data,
                                workload::TaskKind kind);
@@ -242,14 +232,10 @@ class ClusterTaskRunner
     int stream = 0;
     double memShare = 1.0;
 
-    // Fail-stop state; mirrors AdTaskRunner (see ad_tasks.hh).
-    fault::Injector *stopInj = nullptr;
-    int victim = -1;
-    sim::Tick stopAt = 0;
-    sim::Tick stopDetect = 0;
-    bool victimDied = false;
-    std::uint64_t victimBytesDone = 0;
-    sim::Trigger victimExit;
+    // Fail-stop needs no runner state: dead nodes' shares keep
+    // running and the machine hardware-redirects their operations to
+    // the takeover peer (ClusterMachine::route), so every task gets
+    // the degraded path for free.
 };
 
 } // namespace howsim::tasks

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "fault/detector.hh"
 #include "sim/partition.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
@@ -46,6 +47,13 @@ struct TaskResult
      * bit-identity comparison; filled by core::runExperiment.
      */
     sim::PdesStats pdes;
+
+    /**
+     * Failure-detector and rebuild accounting when a fault plan is
+     * active (all zero otherwise); filled by core::runExperiment from
+     * the detector it wires next to the machine.
+     */
+    fault::AvailabilityStats availability;
 
     double seconds() const { return sim::toSeconds(elapsedTicks); }
 };

@@ -31,19 +31,28 @@ const std::uint64_t kMixSite = fault::siteId("traffic.mix");
 const std::uint64_t kThinkSite = fault::siteId("traffic.think");
 
 /**
+ * A retried query's second attempt runs on stream
+ * qid + 1 + kRetryStreamOffset: distinct from every first attempt
+ * (qids stay far below the offset) yet below fault::kRebuildStream,
+ * so retry streams never collide with the rebuild band either.
+ */
+constexpr std::uint64_t kRetryStreamOffset = 1 << 18;
+
+/**
  * Executes one admitted query on the shared machine. One
  * implementation per architecture; each call builds a fresh runner
- * instance (per-query isolation) keyed to the query's stream.
+ * instance (per-query isolation) keyed to the query's stream
+ * (qid + 1). Returns the task's logical output bytes — the
+ * quantity the retry protocol asserts is attempt-invariant.
  */
 class QueryExec
 {
   public:
     virtual ~QueryExec() = default;
 
-    virtual sim::Coro<void> run(std::uint64_t qid, double memShare,
-                                workload::TaskKind kind,
-                                const workload::DatasetSpec &data)
-        = 0;
+    virtual sim::Coro<std::uint64_t>
+    run(std::uint64_t qid, double memShare, workload::TaskKind kind,
+        const workload::DatasetSpec &data) = 0;
 };
 
 class AdExec final : public QueryExec
@@ -55,7 +64,7 @@ class AdExec final : public QueryExec
     {
     }
 
-    sim::Coro<void>
+    sim::Coro<std::uint64_t>
     run(std::uint64_t qid, double memShare, workload::TaskKind kind,
         const workload::DatasetSpec &data) override
     {
@@ -64,6 +73,7 @@ class AdExec final : public QueryExec
         runner.setMemoryShare(memShare);
         co_await runner.runConcurrent(kind, data);
         runner.retireStream();
+        co_return runner.lastResult().outputBytes;
     }
 
   private:
@@ -81,7 +91,7 @@ class ClusterExec final : public QueryExec
     {
     }
 
-    sim::Coro<void>
+    sim::Coro<std::uint64_t>
     run(std::uint64_t qid, double memShare, workload::TaskKind kind,
         const workload::DatasetSpec &data) override
     {
@@ -90,6 +100,7 @@ class ClusterExec final : public QueryExec
         runner.setMemoryShare(memShare);
         co_await runner.runConcurrent(kind, data);
         runner.retireStream();
+        co_return runner.lastResult().outputBytes;
     }
 
   private:
@@ -107,7 +118,7 @@ class SmpExec final : public QueryExec
     {
     }
 
-    sim::Coro<void>
+    sim::Coro<std::uint64_t>
     run(std::uint64_t qid, double memShare, workload::TaskKind kind,
         const workload::DatasetSpec &data) override
     {
@@ -116,6 +127,7 @@ class SmpExec final : public QueryExec
         runner.setMemoryShare(memShare);
         co_await runner.runConcurrent(kind, data);
         runner.retireStream();
+        co_return runner.lastResult().outputBytes;
     }
 
   private:
@@ -135,15 +147,18 @@ class Driver
 {
   public:
     Driver(sim::Simulator &s, const TrafficPlan &p, QueryExec &e,
-           obs::Session *sess)
+           const fault::StopSchedule &stops, obs::Session *sess)
         : simulator(s), plan(p), exec(e),
-          policy(TrafficPolicy::make(p)), session(sess)
+          policy(TrafficPolicy::make(p)), stopSched(stops),
+          session(sess)
     {
         for (const ClassSpec &c : plan.classes) {
             datasets.push_back(scaledDataset(c.task, c.cap));
             latencies.emplace_back();
             classSubmitted.push_back(0);
             classRejected.push_back(0);
+            classRetried.push_back(0);
+            classShed.push_back(0);
         }
         int slots = plan.maxInflight;
         if (plan.loop == LoopMode::Closed)
@@ -192,6 +207,8 @@ class Driver
             cs.task = plan.classes[c].task;
             cs.submitted = classSubmitted[c];
             cs.rejected = classRejected[c];
+            cs.retried = classRetried[c];
+            cs.shed = classShed[c];
             std::vector<sim::Tick> lat = latencies[c];
             std::sort(lat.begin(), lat.end());
             cs.completed = lat.size();
@@ -209,6 +226,8 @@ class Driver
             r.submitted += cs.submitted;
             r.completed += cs.completed;
             r.rejected += cs.rejected;
+            r.retried += cs.retried;
+            r.shed += cs.shed;
             r.classes.push_back(cs);
         }
         r.lastCompletion = lastCompletion;
@@ -339,8 +358,42 @@ class Driver
         co_await admitted.wait();
         gates.erase(t.qid);
         auto cls = static_cast<std::size_t>(t.classIdx);
-        co_await exec.run(t.qid, memShare, plan.classes[cls].task,
-                          datasets[cls]);
+        // SLO shed: a query whose queueing delay alone already blew
+        // the objective cannot possibly meet it — free the slot for
+        // one that can. This is what keeps a degraded machine (a
+        // takeover buddy absorbing a victim's load) from dragging an
+        // ever-growing backlog of doomed queries behind it.
+        if (plan.slo > 0 && simulator.now() - t.arrival > plan.slo) {
+            ++classShed[cls];
+            --inflight;
+            pump();
+            co_return;
+        }
+        sim::Tick began = simulator.now();
+        std::uint64_t bytes = co_await exec.run(
+            t.qid, memShare, plan.classes[cls].task, datasets[cls]);
+        // Client-visible retry, exactly once: only queries whose
+        // first attempt overlapped a death instant re-execute (on a
+        // disjoint stream band). Aliveness is plan arithmetic, so
+        // which queries retry is identical across the sched x xfer x
+        // jobs x pdes matrix. The takeover redirect already keeps a
+        // degraded attempt's output byte-equal — the assert below is
+        // the availability contract, checked on every retry.
+        if (!stopSched.empty()
+            && stopSched.deathWithin(began, simulator.now())) {
+            ++classRetried[cls];
+            std::uint64_t again = co_await exec.run(
+                t.qid + kRetryStreamOffset, memShare,
+                plan.classes[cls].task, datasets[cls]);
+            if (again != bytes) {
+                panic("traffic: query %llu retry produced %llu "
+                      "output bytes, first attempt %llu — degraded "
+                      "execution broke output invariance",
+                      static_cast<unsigned long long>(t.qid),
+                      static_cast<unsigned long long>(again),
+                      static_cast<unsigned long long>(bytes));
+            }
+        }
         --inflight;
         record(t);
         pump();
@@ -388,12 +441,15 @@ class Driver
     const TrafficPlan &plan;
     QueryExec &exec;
     std::unique_ptr<TrafficPolicy> policy;
+    fault::StopSchedule stopSched;
     obs::Session *session;
 
     std::vector<workload::DatasetSpec> datasets;
     std::vector<std::vector<sim::Tick>> latencies;
     std::vector<std::uint64_t> classSubmitted;
     std::vector<std::uint64_t> classRejected;
+    std::vector<std::uint64_t> classRetried;
+    std::vector<std::uint64_t> classShed;
     std::map<std::uint64_t, sim::Trigger> gates;
 
     double memShare = 1.0;
@@ -448,14 +504,17 @@ publishTrafficMetrics(obs::Session *sess, const TrafficResult &r)
     m.counter("traffic.peak_inflight")
         .add(static_cast<std::uint64_t>(r.peakInflight));
     m.counter("traffic.peak_queued").add(r.peakQueued);
+    m.counter("traffic.retried").add(r.retried);
+    m.counter("traffic.shed").add(r.shed);
 }
 
 /** Build the driver, drain the simulation, and summarize. */
 TrafficResult
 drive(sim::Simulator &simulator, const TrafficPlan &plan,
-      QueryExec &exec, obs::Session *sess)
+      QueryExec &exec, const fault::StopSchedule &stops,
+      obs::Session *sess)
 {
-    Driver driver(simulator, plan, exec, sess);
+    Driver driver(simulator, plan, exec, stops, sess);
     driver.start();
     simulator.run();
     TrafficResult result = driver.finish();
@@ -490,11 +549,15 @@ runTraffic(const core::ExperimentConfig &config,
               ? fault::FaultPlan::fromEnv()
               : fault::FaultPlan::parse(config.faults);
     core::validateConfig(config, fplan);
-    if (fplan.stopConfigured()) {
-        fatal("traffic: stop.* fail-stop faults cannot run under a "
-              "traffic plan — fail-stop recovery assumes a single "
-              "batch query owns the machine");
-    }
+    // Fail-stop plans run under traffic: the machines' takeover
+    // redirect keeps every attempt's output correct, and the driver's
+    // resolved schedule decides (pure plan arithmetic) which queries
+    // retry. The schedule is resolved once here, identically to the
+    // machine's own resolution.
+    fault::StopSchedule stops
+        = fplan.stopConfigured()
+              ? fault::StopSchedule::resolve(fplan, config.scale)
+              : fault::StopSchedule{};
     auto obsSession = obs::Session::fromEnv(trafficLabel(config));
     fault::Scope faultScope(fplan);
     int pdesParts = config.pdes > 0
@@ -515,7 +578,7 @@ runTraffic(const core::ExperimentConfig &config,
                                         config.drive, params);
         planPartitions(simulator);
         AdExec exec(simulator, machine, config.costs);
-        auto result = drive(simulator, plan, exec,
+        auto result = drive(simulator, plan, exec, stops,
                             obsSession.get());
         if (obsSession)
             obsSession->dump();
@@ -529,7 +592,7 @@ runTraffic(const core::ExperimentConfig &config,
                                      config.drive, params);
         planPartitions(simulator);
         ClusterExec exec(simulator, machine, config.costs);
-        auto result = drive(simulator, plan, exec,
+        auto result = drive(simulator, plan, exec, stops,
                             obsSession.get());
         if (obsSession)
             obsSession->dump();
@@ -544,7 +607,7 @@ runTraffic(const core::ExperimentConfig &config,
                                 config.scale, config.drive, params);
         planPartitions(simulator);
         SmpExec exec(simulator, machine, config.costs);
-        auto result = drive(simulator, plan, exec,
+        auto result = drive(simulator, plan, exec, stops,
                             obsSession.get());
         if (obsSession)
             obsSession->dump();

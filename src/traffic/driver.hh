@@ -37,6 +37,21 @@ struct ClassStats
     std::uint64_t completed = 0;
     std::uint64_t rejected = 0;
 
+    /**
+     * Queries re-executed once because their first attempt overlapped
+     * a fail-stop death (the client-visible retry protocol; each
+     * contributes one completion whose latency spans both attempts).
+     */
+    std::uint64_t retried = 0;
+
+    /**
+     * Queries shed at admission: their queueing delay alone already
+     * exceeded slo.ms, so executing them could not meet the
+     * objective. Counted separately from rejected (queue overflow
+     * at submission).
+     */
+    std::uint64_t shed = 0;
+
     /** Nearest-rank latency percentiles over completed queries. */
     sim::Tick p50 = 0;
     sim::Tick p95 = 0;
@@ -55,6 +70,8 @@ struct TrafficResult
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;
     std::uint64_t rejected = 0;
+    std::uint64_t retried = 0;
+    std::uint64_t shed = 0;
 
     /** Offered load: submissions over the plan duration. */
     double offeredPerSec = 0.0;

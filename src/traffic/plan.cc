@@ -198,6 +198,11 @@ TrafficPlan::parse(const std::string &spec)
                       "(-1 = unbounded)",
                       v);
             plan.maxQueue = static_cast<int>(v);
+        } else if (key == "slo.ms") {
+            double v = parseDouble(key, value);
+            if (v <= 0.0)
+                fatal("traffic spec: slo.ms=%g must be > 0", v);
+            plan.slo = sim::fromSeconds(v * 1e-3);
         } else if (key.starts_with("mix.")) {
             workload::TaskKind k = parseTask(key, key.substr(4));
             double w = parseDouble(key, value);
@@ -223,7 +228,7 @@ TrafficPlan::parse(const std::string &spec)
             fatal("traffic spec: unknown key \"%s\" (accepted: seed, "
                   "loop, arrival, rate, trace.ms, clients, think.ms, "
                   "duration.ms, policy, max.inflight, max.queue, "
-                  "mix.<task>, cap.<task>, share.<task>)",
+                  "slo.ms, mix.<task>, cap.<task>, share.<task>)",
                   key.c_str());
         }
     }

@@ -79,6 +79,8 @@ struct ClassSpec
  *   policy=fifo|fair (default fifo)
  *   max.inflight=N   concurrent-query cap (default 4)
  *   max.queue=N      admission queue bound; -1 = unbounded (default)
+ *   slo.ms=T         shed queries still queued past this age
+ *                    (default 0 = never shed)
  *   mix.<task>=W     class weight (default: select=1 when no mix.*)
  *   cap.<task>=F     dataset scale fraction in (0, 1]
  *   share.<task>=W   fair-share weight (policy=fair)
@@ -116,6 +118,15 @@ struct TrafficPlan
 
     /** Queue bound beyond which arrivals are rejected; -1 = none. */
     int maxQueue = -1;
+
+    /**
+     * Latency objective: a query whose queueing delay alone already
+     * exceeds this when a slot frees is shed instead of executed
+     * (it cannot possibly meet the objective). 0 = never shed.
+     * Keeps a degraded machine (fail-stop takeover absorbing a
+     * victim's load) from dragging an unbounded backlog behind it.
+     */
+    sim::Tick slo = 0;
 
     /** Query classes in canonical task order (never empty). */
     std::vector<ClassSpec> classes;

@@ -85,16 +85,29 @@ TEST(ConfigValidationDeathTest, StopNeedsSurvivors)
     config.scale = 1;
     config.faults = "stop.disk=0,stop.at.ms=10";
     EXPECT_EXIT(core::runExperiment(config),
-                testing::ExitedWithCode(1), "survivors");
+                testing::ExitedWithCode(1), "takeover buddy");
 }
 
-TEST(ConfigValidationDeathTest, StopRequiresScanTask)
+TEST(ConfigValidationDeathTest, StopListingEveryDeviceIsFatal)
 {
     auto config = validConfig();
-    config.task = TaskKind::Sort;
-    config.faults = "stop.disk=0,stop.at.ms=10";
+    config.faults = "stop.disk=0+1,stop.at.ms=10";
     EXPECT_EXIT(core::runExperiment(config),
-                testing::ExitedWithCode(1), "scan tasks");
+                testing::ExitedWithCode(1),
+                "never-victim survivor");
+}
+
+TEST(ConfigValidationDeathTest, StopViolationsReportedTogether)
+{
+    // Every fail-stop violation lands in ONE fatal(), so a matrix
+    // driver sees the whole damage in a single pass: here both the
+    // out-of-range victim and the scale floor.
+    auto config = validConfig();
+    config.scale = 1;
+    config.faults = "stop.disk=5,stop.at.ms=10";
+    EXPECT_EXIT(core::runExperiment(config),
+                testing::ExitedWithCode(1),
+                "out of range(.|\n)*scale >= 2");
 }
 
 TEST(ConfigValidationDeathTest, MalformedFaultSpecKey)

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <vector>
 
 #include "fault/fault.hh"
 #include "sim/ticks.hh"
@@ -34,7 +35,9 @@ TEST(FaultPlan, FullSpecRoundTrips)
         "disk.media.rate=1e-3,disk.media.retries=5,"
         "disk.remap.rate=1e-4,net.drop.rate=0.01,"
         "net.corrupt.rate=0.02,net.retries=4,net.timeout.us=500,"
-        "stop.disk=3,stop.at.ms=100,stop.detect.ms=20");
+        "stop.disk=3+1+7,stop.rate=0.125,stop.at.ms=100,"
+        "stop.restart.ms=250,stop.detect.ms=20,hb.period.ms=2,"
+        "hb.timeout.x=4,rebuild.rate.mbs=64");
     EXPECT_EQ(plan.seed, 42u);
     EXPECT_DOUBLE_EQ(plan.diskSlowFrac, 0.25);
     EXPECT_DOUBLE_EQ(plan.diskSlowFactor, 2.5);
@@ -45,13 +48,70 @@ TEST(FaultPlan, FullSpecRoundTrips)
     EXPECT_DOUBLE_EQ(plan.netCorruptRate, 0.02);
     EXPECT_EQ(plan.netRetries, 4);
     EXPECT_EQ(plan.netTimeout, sim::microseconds(500));
-    EXPECT_EQ(plan.stopDisk, 3);
+    // The victim list is canonicalized: sorted, deduplicated.
+    EXPECT_EQ(plan.stopDisks, (std::vector<int>{1, 3, 7}));
+    EXPECT_DOUBLE_EQ(plan.stopRate, 0.125);
     EXPECT_EQ(plan.stopAt, sim::fromSeconds(0.1));
+    EXPECT_EQ(plan.stopRestart, sim::fromSeconds(0.25));
     EXPECT_EQ(plan.stopDetect, sim::fromSeconds(0.02));
+    EXPECT_EQ(plan.hbPeriod, sim::fromSeconds(0.002));
+    EXPECT_DOUBLE_EQ(plan.hbTimeoutX, 4.0);
+    EXPECT_DOUBLE_EQ(plan.rebuildRateMBs, 64.0);
     EXPECT_TRUE(plan.active());
     EXPECT_TRUE(plan.diskFaultsActive());
     EXPECT_TRUE(plan.netFaultsActive());
     EXPECT_TRUE(plan.stopConfigured());
+}
+
+TEST(FaultPlan, ToStringParsesBackFieldForField)
+{
+    // The canonical spec is the reproducibility artifact embedded in
+    // metrics JSON and bench records: parse(toString()) must rebuild
+    // the plan exactly, and the inactive default plan must serialize
+    // to the empty string.
+    EXPECT_EQ(FaultPlan{}.toString(), "");
+    FaultPlan plan = FaultPlan::parse(
+        "seed=42,disk.slow.frac=0.25,disk.media.rate=1e-3,"
+        "net.drop.rate=0.01,stop.disk=3+1,stop.rate=0.125,"
+        "stop.at.ms=100,stop.restart.ms=250,hb.period.ms=2,"
+        "hb.timeout.x=4,rebuild.rate.mbs=64");
+    FaultPlan back = FaultPlan::parse(plan.toString());
+    EXPECT_EQ(back.seed, plan.seed);
+    EXPECT_DOUBLE_EQ(back.diskSlowFrac, plan.diskSlowFrac);
+    EXPECT_DOUBLE_EQ(back.diskMediaRate, plan.diskMediaRate);
+    EXPECT_DOUBLE_EQ(back.netDropRate, plan.netDropRate);
+    EXPECT_EQ(back.stopDisks, plan.stopDisks);
+    EXPECT_DOUBLE_EQ(back.stopRate, plan.stopRate);
+    EXPECT_EQ(back.stopAt, plan.stopAt);
+    EXPECT_EQ(back.stopRestart, plan.stopRestart);
+    EXPECT_EQ(back.hbPeriod, plan.hbPeriod);
+    EXPECT_DOUBLE_EQ(back.hbTimeoutX, plan.hbTimeoutX);
+    EXPECT_DOUBLE_EQ(back.rebuildRateMBs, plan.rebuildRateMBs);
+    // And the canonical form is a fixed point.
+    EXPECT_EQ(back.toString(), plan.toString());
+}
+
+TEST(FaultPlan, StopScheduleResolvesUnionAndBuddies)
+{
+    FaultPlan plan = FaultPlan::parse(
+        "stop.disk=2+5,stop.at.ms=10,stop.restart.ms=40");
+    fault::StopSchedule sched = fault::StopSchedule::resolve(plan, 8);
+    ASSERT_EQ(sched.victims.size(), 2u);
+    EXPECT_EQ(sched.victims[0].device, 2);
+    EXPECT_EQ(sched.victims[1].device, 5);
+    EXPECT_TRUE(sched.victims[0].rejoins());
+    // Aliveness is pure plan arithmetic: down inside
+    // [stopAt, restartAt), serving on either side.
+    sim::Tick at = sched.victims[0].stopAt;
+    EXPECT_TRUE(sched.aliveAt(2, at - 1));
+    EXPECT_FALSE(sched.aliveAt(2, at));
+    EXPECT_TRUE(sched.aliveAt(2, sched.victims[0].restartAt));
+    EXPECT_TRUE(sched.deathWithin(at, at + 1));
+    EXPECT_FALSE(sched.deathWithin(at + 1, at + 2));
+    // The buddy is the next never-victim, cyclically.
+    EXPECT_EQ(sched.buddyOf(2, 8), 3);
+    EXPECT_EQ(sched.buddyOf(5, 8), 6);
+    EXPECT_EQ(sched.buddyOf(7, 8), 0);
 }
 
 TEST(FaultPlan, TrailingAndDoubledCommasAreTolerated)

@@ -181,14 +181,56 @@ TEST(TrafficDriver, FaultedPlanStaysDeterministic)
     EXPECT_EQ(a.lastCompletion, b.lastCompletion);
 }
 
-TEST(TrafficDriverDeath, MissingPlanAndStopFaultsAreFatal)
+TEST(TrafficDriverDeath, MissingPlanIsFatal)
 {
     unsetenv("HOWSIM_TRAFFIC");
     ExperimentConfig config;
     config.scale = 4;
     EXPECT_DEATH(traffic::runTraffic(config), "no traffic plan");
-    config.traffic = "rate=10,duration.ms=20";
-    config.faults = "stop.disk=1,stop.at.ms=5";
-    EXPECT_DEATH(traffic::runTraffic(config),
-                 "stop.* fail-stop faults cannot be combined");
+}
+
+TEST(TrafficDriver, FailStopRetriesOverlappingQueriesExactlyOnce)
+{
+    // A death mid-window: queries whose first attempt spans the
+    // death instant retry exactly once, everything completes, and
+    // which queries retried is a pure function of the plan — so the
+    // retried count and the timeline are identical across host
+    // knobs.
+    ExperimentConfig config = configFor(Arch::ActiveDisk, kOpenSpec);
+    config.faults = "stop.disk=1,stop.at.ms=30,hb.period.ms=2";
+    TrafficResult a = traffic::runTraffic(config);
+    EXPECT_EQ(a.completed, a.submitted);
+    EXPECT_GT(a.retried, 0u);
+    // Exactly once: each retry contributes one extra execution, never
+    // more, so retried can never exceed completed.
+    EXPECT_LE(a.retried, a.completed);
+
+    ExperimentConfig other = config;
+    other.sched = sim::SchedPolicy::Heap;
+    other.xfer = bus::XferPolicy::Calendar;
+    TrafficResult b = traffic::runTraffic(other);
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.retried, b.retried);
+    EXPECT_EQ(a.lastCompletion, b.lastCompletion);
+}
+
+TEST(TrafficDriver, SloShedsDoomedQueriesUnderDegradedMachine)
+{
+    // Overload a degraded machine behind a tight SLO: queries whose
+    // queueing delay alone blows the objective are shed at admission
+    // (not rejected at submission), and shedding is deterministic.
+    ExperimentConfig config = configFor(Arch::ActiveDisk, kOpenSpec);
+    config.traffic = "seed=7,loop=open,arrival=poisson,rate=400,"
+                     "duration.ms=80,max.inflight=1,slo.ms=15,"
+                     "mix.select=1,cap.select=0.002";
+    config.faults = "stop.disk=1,stop.at.ms=10,hb.period.ms=2";
+    TrafficResult a = traffic::runTraffic(config);
+    EXPECT_GT(a.shed, 0u);
+    EXPECT_EQ(a.completed + a.shed, a.submitted);
+
+    ExperimentConfig other = config;
+    other.sched = sim::SchedPolicy::Heap;
+    TrafficResult b = traffic::runTraffic(other);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
 }
